@@ -1,0 +1,85 @@
+//===- replace_elimination.cpp - Replace-minimization ablation -------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 3.3.2 motivates the assignment-edge formulation: a trivially
+/// valid assignment exists ("introduce a fresh physical domain for each
+/// attribute of each expression, then wrap each subexpression with a
+/// replace"), but it executes a replace at *every* operand boundary. The
+/// SAT-based assignment instead merges connected components so that
+/// replaces only remain where the programmer-pinned domains genuinely
+/// differ. This ablation counts, per analysis module:
+///
+///   naive    — one potential replace per assignment edge (the fresh-
+///              domains strawman);
+///   solved   — assignment edges whose endpoint domains differ after the
+///              SAT assignment (replaces that survive minimization).
+///
+//===----------------------------------------------------------------------===//
+
+#include "jedd/Driver.h"
+#include "util/File.h"
+
+#include <cstdio>
+
+using namespace jedd;
+using namespace jedd::lang;
+
+namespace {
+
+std::string readModule(const std::string &Name) {
+  std::string Text;
+  if (!readFileToString(std::string(JEDDPP_JEDDSRC_DIR) + "/" + Name,
+                        Text)) {
+    std::fprintf(stderr, "error: cannot read jeddsrc/%s\n", Name.c_str());
+    std::exit(1);
+  }
+  return Text;
+}
+
+} // namespace
+
+int main() {
+  std::printf("Ablation: replace operations eliminated by the SAT-based "
+              "physical domain assignment\n\n");
+  std::printf("%-18s | %14s | %14s | %11s\n", "module",
+              "naive replaces", "after solving", "eliminated");
+  std::printf("%s\n", std::string(68, '-').c_str());
+
+  std::string Prelude = readModule("prelude.jedd");
+  size_t TotalNaive = 0, TotalSolved = 0;
+  for (const char *Name : {"hierarchy.jedd", "vcr.jedd", "pointsto.jedd",
+                           "callgraph.jedd", "sideeffect.jedd"}) {
+    DiagnosticEngine Diags(Name);
+    auto Compiled = compileJedd(Prelude + readModule(Name), Diags);
+    if (!Compiled) {
+      std::fprintf(stderr, "error compiling %s:\n%s", Name,
+                   Diags.renderAll().c_str());
+      return 1;
+    }
+    const AssignStats &S = Compiled->assignStats();
+    TotalNaive += S.NumAssignmentEdges;
+    TotalSolved += S.ReplacesNeeded;
+    std::printf("%-18s | %14zu | %14zu | %10.1f%%\n", Name,
+                S.NumAssignmentEdges, S.ReplacesNeeded,
+                S.NumAssignmentEdges
+                    ? 100.0 * (S.NumAssignmentEdges - S.ReplacesNeeded) /
+                          S.NumAssignmentEdges
+                    : 0.0);
+  }
+  std::printf("%s\n", std::string(68, '-').c_str());
+  std::printf("%-18s | %14zu | %14zu | %10.1f%%\n", "total", TotalNaive,
+              TotalSolved,
+              TotalNaive
+                  ? 100.0 * (TotalNaive - TotalSolved) / TotalNaive
+                  : 0.0);
+  std::printf("\nEvery eliminated replace is a BDD traversal that never "
+              "runs. The handful that survive move data between\n"
+              "genuinely different programmer-pinned domains (e.g. the "
+              "closure scratch attribute), as in the paper.\n");
+  return 0;
+}

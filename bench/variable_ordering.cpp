@@ -1,0 +1,72 @@
+//===- variable_ordering.cpp - Bit-order ablation ---------------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "It has been widely noted that the ordering of bits in a BDD
+/// determines its size, and therefore the speed of operations performed
+/// on it" (Section 3.3.1) — the reason Jedd ships a profiler and lets
+/// the user pick orderings. This ablation runs the points-to analysis
+/// under the two orderings the DomainPack supports:
+///
+///   interleaved — bit k of every physical domain adjacent (the layout
+///                 Berndl et al. [5] found essential);
+///   sequential  — each physical domain's bits contiguous.
+///
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyses.h"
+#include "soot/Generator.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace jedd;
+using namespace jedd::analysis;
+
+int main() {
+  soot::Program P =
+      soot::generateProgram(soot::benchmarkPreset("compress"));
+  std::vector<std::pair<soot::Id, soot::Id>> Extra = onTheFlyAssignEdges(P);
+
+  std::printf("Ablation: physical-domain bit ordering on points-to "
+              "(benchmark 'compress')\n\n");
+  std::printf("%-12s | %10s | %12s | %14s | %14s\n", "ordering",
+              "time (s)", "pt (pairs)", "pt (BDD nodes)", "nodes created");
+  std::printf("%s\n", std::string(74, '-').c_str());
+
+  double Sizes[2] = {0, 0};
+  int Index = 0;
+  for (auto [Name, Order] :
+       {std::pair<const char *, bdd::BitOrder>{"interleaved",
+                                               bdd::BitOrder::Interleaved},
+        std::pair<const char *, bdd::BitOrder>{"sequential",
+                                               bdd::BitOrder::Sequential}}) {
+    auto T0 = std::chrono::steady_clock::now();
+    AnalysisUniverse AU(P, Order);
+    PointsToAnalysis PTA(AU);
+    for (size_t M = 0; M != P.Methods.size(); ++M)
+      PTA.addMethodFacts(static_cast<soot::Id>(M));
+    for (auto &[Src, Dst] : Extra)
+      PTA.addAssignEdge(Src, Dst);
+    PTA.solve();
+    auto T1 = std::chrono::steady_clock::now();
+    Sizes[Index++] = PTA.Pt.size();
+    std::printf("%-12s | %10.3f | %12.0f | %14zu | %14zu\n", Name,
+                std::chrono::duration<double>(T1 - T0).count(),
+                PTA.Pt.size(), PTA.Pt.nodeCount(),
+                AU.U.manager().stats().NodesCreated);
+  }
+  if (Sizes[0] != Sizes[1]) {
+    std::fprintf(stderr, "error: orderings computed different results\n");
+    return 1;
+  }
+  std::printf("\nBoth orderings compute identical relations; the BDD "
+              "sizes and times differ, which is exactly why the\n"
+              "paper separates logical attributes from physical domains "
+              "and ships a profiler for tuning (Section 4.3).\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+//===- zdd_vs_bdd.cpp - ZDD vs BDD representation sizes ---------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 4.1: "Several researchers have suggested using zero-
+/// suppressed binary decision diagrams (ZDDs) for our points-to
+/// analysis algorithms. We are therefore working on a backend for Jedd
+/// based on ZDDs." This harness quantifies the suggestion on our
+/// substrate: the same relation encoded as a BDD (the shipped backend)
+/// and as a ZDD, across sparsity levels — sparse relations are where
+/// zero-suppression pays.
+///
+//===----------------------------------------------------------------------===//
+
+#include "bdd/DomainPack.h"
+#include "bdd/Zdd.h"
+#include "soot/Generator.h"
+#include "util/Random.h"
+
+#include <cstdio>
+
+using namespace jedd;
+using namespace jedd::bdd;
+
+namespace {
+
+/// Encodes `Tuples` random pairs over two `Bits`-bit attributes both
+/// ways and reports node counts.
+void compare(unsigned Bits, unsigned Tuples) {
+  SplitMix64 Rng(0x5eed + Tuples);
+  DomainPack Pack(BitOrder::Interleaved);
+  PhysDomId A = Pack.addDomain("A", Bits);
+  PhysDomId B = Pack.addDomain("B", Bits);
+  Pack.finalize(1 << 18, 1 << 18);
+  ZddManager ZMgr(2 * Bits, 1 << 18, 1 << 18);
+
+  Bdd AsBdd = Pack.manager().falseBdd();
+  Zdd AsZdd = ZMgr.empty();
+  for (unsigned I = 0; I != Tuples; ++I) {
+    uint64_t X = Rng.nextBelow(1ULL << Bits);
+    uint64_t Y = Rng.nextBelow(1ULL << Bits);
+    AsBdd = AsBdd | (Pack.encode(A, X) & Pack.encode(B, Y));
+    std::vector<unsigned> Combo;
+    for (unsigned Bit = 0; Bit != Bits; ++Bit) {
+      if ((X >> Bit) & 1)
+        Combo.push_back(Pack.varOfBit(A, Bits - 1 - Bit));
+      if ((Y >> Bit) & 1)
+        Combo.push_back(Pack.varOfBit(B, Bits - 1 - Bit));
+    }
+    AsZdd = ZMgr.zddUnion(AsZdd, ZMgr.combination(Combo));
+  }
+
+  size_t BddNodes = Pack.manager().nodeCount(AsBdd);
+  size_t ZddNodes = ZMgr.nodeCount(AsZdd);
+  double Density = static_cast<double>(Tuples) /
+                   static_cast<double>(1ULL << (2 * Bits));
+  std::printf("%6u | %8u | %10.2e | %10zu | %10zu | %8.2fx\n", Bits,
+              Tuples, Density, BddNodes, ZddNodes,
+              static_cast<double>(BddNodes) / ZddNodes);
+}
+
+} // namespace
+
+int main() {
+  std::printf("ZDD backend groundwork (Section 4.1): representation size "
+              "of the same random relation\n\n");
+  std::printf("%6s | %8s | %10s | %10s | %10s | %8s\n", "bits", "tuples",
+              "density", "BDD nodes", "ZDD nodes", "BDD/ZDD");
+  std::printf("%s\n", std::string(70, '-').c_str());
+  for (unsigned Bits : {10u, 14u, 18u})
+    for (unsigned Tuples : {16u, 128u, 1024u})
+      compare(Bits, Tuples);
+  std::printf("\nSparse relations (low density) are several times smaller "
+              "as ZDDs because 0-bits cost no nodes;\nas density grows "
+              "the gap narrows. Points-to sets of real programs are "
+              "sparse — hence the suggestion\nthe paper cites.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===- virtual_call_resolution.cpp - Figure 4, step by step ---------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the worked example of Figure 4: resolving the virtual
+/// calls foo() and bar() on a receiver of type B, where B extends A, A
+/// implements foo() and B implements bar(). Prints every intermediate
+/// relation — the tables (a) through (g) of the figure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "rel/Relation.h"
+
+#include <cstdio>
+
+using namespace jedd::rel;
+
+int main() {
+  Universe U;
+  DomainId Type = U.addDomain("Type", 4);
+  DomainId Sig = U.addDomain("Signature", 4);
+  DomainId Method = U.addDomain("Method", 4);
+  U.setLabel(Type, 0, "A");
+  U.setLabel(Type, 1, "B");
+  U.setLabel(Sig, 0, "foo()");
+  U.setLabel(Sig, 1, "bar()");
+  U.setLabel(Method, 0, "A.foo()");
+  U.setLabel(Method, 1, "B.bar()");
+
+  AttributeId RecType = U.addAttribute("rectype", Type);
+  AttributeId Signature = U.addAttribute("signature", Sig);
+  AttributeId TgtType = U.addAttribute("tgttype", Type);
+  AttributeId MethodA = U.addAttribute("method", Method);
+  AttributeId SubType = U.addAttribute("subtype", Type);
+  AttributeId SuperType = U.addAttribute("supertype", Type);
+  AttributeId TypeA = U.addAttribute("type", Type);
+
+  PhysDomId T1 = U.addPhysicalDomain("T1");
+  PhysDomId T2 = U.addPhysicalDomain("T2");
+  PhysDomId S1 = U.addPhysicalDomain("S1");
+  PhysDomId M1 = U.addPhysicalDomain("M1");
+  U.finalize();
+
+  // implementsMethod (Figure 3): A implements foo() as A.foo(), B
+  // implements bar() as B.bar().
+  Relation DeclaresMethod =
+      U.empty({{TypeA, T2}, {Signature, S1}, {MethodA, M1}});
+  DeclaresMethod.insert({0, 0, 0});
+  DeclaresMethod.insert({1, 1, 1});
+  std::printf("declaresMethod (Figure 3):\n%s\n",
+              DeclaresMethod.toString().c_str());
+
+  // extend (d): B extends A.
+  Relation Extend = U.empty({{SubType, T2}, {SuperType, T1}});
+  Extend.insert({1, 0});
+  std::printf("(d) extend:\n%s\n", Extend.toString().c_str());
+
+  // receiverTypes (a): receiver B at two call sites.
+  Relation ReceiverTypes = U.empty({{RecType, T1}, {Signature, S1}});
+  ReceiverTypes.insert({1, 0});
+  ReceiverTypes.insert({1, 1});
+  std::printf("(a) receiverTypes:\n%s\n", ReceiverTypes.toString().c_str());
+
+  // Line 3: <rectype, signature, tgttype> toResolve =
+  //             (rectype=>rectype tgttype) receiverTypes;
+  Relation ToResolve = ReceiverTypes.copy(RecType, TgtType, T2);
+  std::printf("(b) toResolve after line 3:\n%s\n",
+              ToResolve.toString().c_str());
+
+  Relation Answer = U.empty(
+      {{RecType, T1}, {Signature, S1}, {TgtType, T2}, {MethodA, M1}});
+
+  int Iteration = 0;
+  do {
+    ++Iteration;
+    // Lines 6-7.
+    Relation Resolved = ToResolve.join(DeclaresMethod, {TgtType, Signature},
+                                       {TypeA, Signature});
+    std::printf("(%s) resolved in iteration %d:\n%s\n",
+                Iteration == 1 ? "c" : "g", Iteration,
+                Resolved.toString().c_str());
+    // Line 8.
+    Answer |= Resolved;
+    // Line 9.
+    ToResolve -= Resolved.project({MethodA});
+    if (Iteration == 1)
+      std::printf("(e) toResolve after line 9:\n%s\n",
+                  ToResolve.toString().c_str());
+    // Line 10.
+    ToResolve = ToResolve.compose(Extend, {TgtType}, {SubType})
+                    .rename(SuperType, TgtType);
+    if (Iteration == 1)
+      std::printf("(f) toResolve after line 10:\n%s\n",
+                  ToResolve.toString().c_str());
+    // Line 11.
+  } while (!ToResolve.isEmpty());
+
+  std::printf("final answer — targets of the two calls:\n%s",
+              Answer.toString().c_str());
+  return 0;
+}

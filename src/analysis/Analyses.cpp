@@ -1,0 +1,350 @@
+//===- Analyses.cpp - The five whole-program analyses ----------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Analyses.h"
+#include "util/Fatal.h"
+#include "util/Random.h"
+
+#include <algorithm>
+
+using namespace jedd;
+using namespace jedd::analysis;
+using rel::Relation;
+using soot::Id;
+using soot::NoId;
+using soot::Program;
+
+//===----------------------------------------------------------------------===//
+// AnalysisUniverse
+//===----------------------------------------------------------------------===//
+
+AnalysisUniverse::AnalysisUniverse(const Program &Prog, bdd::BitOrder Order)
+    : Prog(Prog) {
+  auto Sz = [](size_t N) { return std::max<uint64_t>(N, 1); };
+  DVar = U.addDomain("Var", Sz(Prog.NumVars));
+  DObj = U.addDomain("Obj", Sz(Prog.NumSites));
+  DType = U.addDomain("Type", Sz(Prog.Klasses.size()));
+  DSig = U.addDomain("Sig", Sz(Prog.Sigs.size()));
+  DMeth = U.addDomain("Method", Sz(Prog.Methods.size()));
+  DField = U.addDomain("Field", Sz(Prog.Fields.size()));
+  DCall = U.addDomain("Call", Sz(Prog.Calls.size()));
+
+  Src = U.addAttribute("src", DVar);
+  Dst = U.addAttribute("dst", DVar);
+  Base = U.addAttribute("base", DVar);
+  Obj = U.addAttribute("obj", DObj);
+  BaseObj = U.addAttribute("baseobj", DObj);
+  Sub = U.addAttribute("subtype", DType);
+  Sup = U.addAttribute("supertype", DType);
+  RecT = U.addAttribute("rectype", DType);
+  TgtT = U.addAttribute("tgttype", DType);
+  Typ = U.addAttribute("type", DType);
+  Sig = U.addAttribute("signature", DSig);
+  Mth = U.addAttribute("method", DMeth);
+  Callee = U.addAttribute("callee", DMeth);
+  Fld = U.addAttribute("field", DField);
+  Call = U.addAttribute("call", DCall);
+
+  unsigned BV = bitsForSize(Sz(Prog.NumVars));
+  unsigned BO = bitsForSize(Sz(Prog.NumSites));
+  unsigned BT = bitsForSize(Sz(Prog.Klasses.size()));
+  unsigned BS = bitsForSize(Sz(Prog.Sigs.size()));
+  unsigned BM = bitsForSize(Sz(Prog.Methods.size()));
+  unsigned BF = bitsForSize(Sz(Prog.Fields.size()));
+  unsigned BC = bitsForSize(Sz(Prog.Calls.size()));
+
+  V1 = U.addPhysicalDomain("V1", BV);
+  V2 = U.addPhysicalDomain("V2", BV);
+  V3 = U.addPhysicalDomain("V3", BV);
+  O1 = U.addPhysicalDomain("O1", BO);
+  O2 = U.addPhysicalDomain("O2", BO);
+  T1 = U.addPhysicalDomain("T1", BT);
+  T2 = U.addPhysicalDomain("T2", BT);
+  T3 = U.addPhysicalDomain("T3", BT);
+  SG1 = U.addPhysicalDomain("SG1", BS);
+  M1 = U.addPhysicalDomain("M1", BM);
+  M2 = U.addPhysicalDomain("M2", BM);
+  F1 = U.addPhysicalDomain("F1", BF);
+  C1 = U.addPhysicalDomain("C1", BC);
+
+  U.finalize(Order, 1 << 16, 1 << 18);
+}
+
+//===----------------------------------------------------------------------===//
+// Hierarchy
+//===----------------------------------------------------------------------===//
+
+Hierarchy::Hierarchy(AnalysisUniverse &AU) {
+  Extend = AU.U.empty({{AU.Sub, AU.T1}, {AU.Sup, AU.T2}});
+  for (size_t K = 1; K != AU.Prog.Klasses.size(); ++K)
+    Extend.insert({K, AU.Prog.Klasses[K].Super});
+
+  // Reflexive-transitive closure by least fixpoint.
+  Subtype = AU.U.empty({{AU.Sub, AU.T1}, {AU.Sup, AU.T2}});
+  for (size_t K = 0; K != AU.Prog.Klasses.size(); ++K)
+    Subtype.insert({K, K});
+  Subtype |= Extend;
+  while (true) {
+    // subtype(sub, mid) . extend(mid, sup) — one compose per step.
+    Relation Step = Subtype.compose(Extend, {AU.Sup}, {AU.Sub}, "hierarchy");
+    Relation Next = Subtype | Step;
+    if (Next == Subtype)
+      break;
+    Subtype = Next;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Virtual call resolution (Figure 4, carrying the call site)
+//===----------------------------------------------------------------------===//
+
+VirtualCallResolver::VirtualCallResolver(AnalysisUniverse &AU,
+                                         const Hierarchy &H)
+    : AU(AU), H(H) {
+  DeclaresMethod =
+      AU.U.empty({{AU.Typ, AU.T2}, {AU.Sig, AU.SG1}, {AU.Mth, AU.M1}});
+  for (size_t M = 0; M != AU.Prog.Methods.size(); ++M)
+    DeclaresMethod.insert(
+        {AU.Prog.Methods[M].Klass, AU.Prog.Methods[M].Sig, M});
+}
+
+Relation VirtualCallResolver::resolve(const Relation &ReceiverTypes) const {
+  // Line numbers refer to Figure 4 of the paper.
+  // Line 3: save the receiver type before walking up the hierarchy.
+  Relation ToResolve =
+      ReceiverTypes.copy(AU.RecT, AU.TgtT, AU.T2, "vcr:copy");
+  Relation Answer = AU.U.empty({{AU.Call, AU.C1},
+                                {AU.Sig, AU.SG1},
+                                {AU.RecT, AU.T1},
+                                {AU.TgtT, AU.T2},
+                                {AU.Mth, AU.M1}});
+  while (!ToResolve.isEmpty()) {
+    // Lines 6-7: does the current class implement the signature?
+    Relation Resolved = ToResolve.join(DeclaresMethod, {AU.TgtT, AU.Sig},
+                                       {AU.Typ, AU.Sig}, "vcr:join");
+    // Line 8.
+    Answer |= Resolved;
+    // Line 9: drop the resolved call sites.
+    ToResolve -= Resolved.project({AU.Mth}, "vcr:project");
+    // Line 10: move to the immediate superclass.
+    ToResolve = ToResolve.compose(H.Extend, {AU.TgtT}, {AU.Sub},
+                                  "vcr:compose")
+                    .rename(AU.Sup, AU.TgtT);
+    // Line 11: the loop condition is the enclosing while.
+  }
+  return Answer.projectTo({AU.Call, AU.Mth}, "vcr:answer")
+      .rename(AU.Mth, AU.Callee);
+}
+
+//===----------------------------------------------------------------------===//
+// Points-to analysis
+//===----------------------------------------------------------------------===//
+
+PointsToAnalysis::PointsToAnalysis(AnalysisUniverse &AU) : AU(AU) {
+  Pt = AU.U.empty({{AU.Src, AU.V1}, {AU.Obj, AU.O1}});
+  FieldPt = AU.U.empty(
+      {{AU.BaseObj, AU.O2}, {AU.Fld, AU.F1}, {AU.Obj, AU.O1}});
+  AllocR = AU.U.empty({{AU.Src, AU.V1}, {AU.Obj, AU.O1}});
+  AssignR = AU.U.empty({{AU.Src, AU.V1}, {AU.Dst, AU.V2}});
+  LoadR = AU.U.empty(
+      {{AU.Base, AU.V1}, {AU.Fld, AU.F1}, {AU.Dst, AU.V2}});
+  StoreR = AU.U.empty(
+      {{AU.Src, AU.V1}, {AU.Base, AU.V2}, {AU.Fld, AU.F1}});
+}
+
+void PointsToAnalysis::addMethodFacts(Id Method) {
+  const Program &P = AU.Prog;
+  for (const soot::AllocStmt &S : P.Allocs)
+    if (P.VarMethod[S.Var] == Method)
+      AllocR.insert({S.Var, S.Site});
+  for (const soot::AssignStmt &S : P.Assigns)
+    if (P.VarMethod[S.Dst] == Method)
+      AssignR.insert({S.Src, S.Dst});
+  for (const soot::LoadStmt &S : P.Loads)
+    if (P.VarMethod[S.Dst] == Method)
+      LoadR.insert({S.Base, S.Field, S.Dst});
+  for (const soot::StoreStmt &S : P.Stores)
+    if (P.VarMethod[S.Base] == Method)
+      StoreR.insert({S.Src, S.Base, S.Field});
+}
+
+void PointsToAnalysis::addAssignEdge(Id SrcVar, Id DstVar) {
+  AssignR.insert({SrcVar, DstVar});
+}
+
+bool PointsToAnalysis::solve() {
+  bool Changed = false;
+  Pt |= AllocR;
+  while (true) {
+    Relation OldPt = Pt;
+    Relation OldFieldPt = FieldPt;
+
+    // Copy edges: pt(dst) >= pt(src).
+    Pt |= AssignR.compose(Pt, {AU.Src}, {AU.Src}, "pt:copy")
+              .rename(AU.Dst, AU.Src);
+
+    // A points-to view keyed for base lookups: <Src, BaseObj>.
+    Relation PtBase = Pt.rename(AU.Obj, AU.BaseObj);
+
+    // Stores: fieldPt(baseobj, fld) >= pt(src) for store(src, base, fld),
+    // baseobj in pt(base).
+    Relation StoreObjs =
+        StoreR.compose(Pt, {AU.Src}, {AU.Src}, "pt:store1");
+    FieldPt |= StoreObjs.compose(PtBase, {AU.Base}, {AU.Src}, "pt:store2");
+
+    // Loads: pt(dst) >= fieldPt(baseobj, fld) for load(base, fld, dst),
+    // baseobj in pt(base).
+    Relation LoadBases =
+        LoadR.compose(PtBase, {AU.Base}, {AU.Src}, "pt:load1");
+    Pt |= LoadBases
+              .compose(FieldPt, {AU.BaseObj, AU.Fld},
+                       {AU.BaseObj, AU.Fld}, "pt:load2")
+              .rename(AU.Dst, AU.Src);
+
+    if (Pt == OldPt && FieldPt == OldFieldPt)
+      break;
+    Changed = true;
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Call graph, on the fly
+//===----------------------------------------------------------------------===//
+
+CallGraphBuilder::CallGraphBuilder(AnalysisUniverse &AU, Hierarchy &H,
+                                   VirtualCallResolver &VCR,
+                                   PointsToAnalysis &PTA)
+    : AU(AU), H(H), VCR(VCR), PTA(PTA) {
+  SiteType = AU.U.empty({{AU.Obj, AU.O1}, {AU.Typ, AU.T1}});
+  for (size_t S = 0; S != AU.Prog.NumSites; ++S)
+    SiteType.insert({S, AU.Prog.SiteType[S]});
+  CallRecvSig = AU.U.empty(
+      {{AU.Call, AU.C1}, {AU.Src, AU.V1}, {AU.Sig, AU.SG1}});
+  CallerOf = AU.U.empty({{AU.Call, AU.C1}, {AU.Mth, AU.M1}});
+  Cg = AU.U.empty({{AU.Call, AU.C1}, {AU.Callee, AU.M2}});
+}
+
+void CallGraphBuilder::makeReachable(Id Method) {
+  if (!Reachable.insert(Method).second)
+    return;
+  PTA.addMethodFacts(Method);
+  for (size_t C = 0; C != AU.Prog.Calls.size(); ++C) {
+    const soot::CallSite &Site = AU.Prog.Calls[C];
+    if (Site.Caller != Method)
+      continue;
+    CallRecvSig.insert({C, Site.RecvVar, Site.Sig});
+    CallerOf.insert({C, Method});
+  }
+}
+
+void CallGraphBuilder::addCallEdge(Id CallSiteId, Id CalleeId) {
+  if (!ProcessedEdges.insert({CallSiteId, CalleeId}).second)
+    return;
+  makeReachable(CalleeId);
+  const soot::CallSite &Site = AU.Prog.Calls[CallSiteId];
+  const soot::Method &Callee = AU.Prog.Methods[CalleeId];
+  // Interprocedural copy edges: receiver -> this, arguments ->
+  // parameters, return variable -> call result.
+  PTA.addAssignEdge(Site.RecvVar, Callee.ThisVar);
+  for (size_t A = 0;
+       A != std::min(Site.ArgVars.size(), Callee.ParamVars.size()); ++A)
+    PTA.addAssignEdge(Site.ArgVars[A], Callee.ParamVars[A]);
+  if (Site.RetDstVar != NoId && Callee.RetVar != NoId)
+    PTA.addAssignEdge(Callee.RetVar, Site.RetDstVar);
+}
+
+void CallGraphBuilder::run() {
+  makeReachable(AU.Prog.EntryMethod);
+  while (true) {
+    ++Rounds;
+    PTA.solve();
+
+    // Receiver classes per call site, through the points-to sets.
+    Relation RecvObjs =
+        CallRecvSig.compose(PTA.Pt, {AU.Src}, {AU.Src}, "cg:recvobjs");
+    Relation RecvTypes =
+        RecvObjs.compose(SiteType, {AU.Obj}, {AU.Obj}, "cg:recvtypes")
+            .rename(AU.Typ, AU.RecT);
+
+    Relation Targets = VCR.resolve(RecvTypes);
+    Relation NewEdges = Targets - Cg;
+    if (NewEdges.isEmpty())
+      break;
+    Cg |= NewEdges;
+    // Extraction back to Java objects (Section 2.3): iterate the new
+    // edges and register their interprocedural effects.
+    NewEdges.iterate([&](const std::vector<uint64_t> &Tuple) {
+      addCallEdge(static_cast<Id>(Tuple[0]), static_cast<Id>(Tuple[1]));
+      return true;
+    });
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Side effects
+//===----------------------------------------------------------------------===//
+
+SideEffectAnalysis::SideEffectAnalysis(AnalysisUniverse &AU,
+                                       const PointsToAnalysis &PTA,
+                                       const CallGraphBuilder &CGB) {
+  VarMethod = AU.U.empty({{AU.Src, AU.V1}, {AU.Mth, AU.M1}});
+  for (size_t V = 0; V != AU.Prog.NumVars; ++V)
+    VarMethod.insert({V, AU.Prog.VarMethod[V]});
+
+  Relation PtBase = PTA.Pt.rename(AU.Obj, AU.BaseObj);
+
+  // Direct effects: stores write, loads read (object, field) pairs,
+  // attributed to the method containing the statement.
+  Relation StoreBases =
+      PTA.StoreR.project({AU.Src}, "se:wproj"); // <Base, Fld>
+  Relation StoreOwned = StoreBases.rename(AU.Base, AU.Src)
+                            .join(VarMethod, {AU.Src}, {AU.Src}, "se:wown");
+  DirectWrite =
+      StoreOwned.compose(PtBase, {AU.Src}, {AU.Src}, "se:wpt");
+
+  Relation LoadBases = PTA.LoadR.project({AU.Dst}, "se:rproj");
+  Relation LoadOwned = LoadBases.rename(AU.Base, AU.Src)
+                           .join(VarMethod, {AU.Src}, {AU.Src}, "se:rown");
+  DirectRead = LoadOwned.compose(PtBase, {AU.Src}, {AU.Src}, "se:rpt");
+
+  // Method-level call edges, then reflexive-transitive closure.
+  Relation MethodEdges =
+      CGB.CallerOf.join(CGB.Cg, {AU.Call}, {AU.Call}, "se:edges")
+          .projectTo({AU.Mth, AU.Callee}, "se:edges2");
+  Relation Closure = AU.U.empty({{AU.Mth, AU.M1}, {AU.Callee, AU.M2}});
+  for (size_t M = 0; M != AU.Prog.Methods.size(); ++M)
+    Closure.insert({M, M});
+  Closure |= MethodEdges;
+  while (true) {
+    // closure(m, mid) . edges(mid, callee) — compare Callee with Mth.
+    Relation Step =
+        Closure.compose(MethodEdges, {AU.Callee}, {AU.Mth}, "se:close");
+    Relation Next = Closure | Step;
+    if (Next == Closure)
+      break;
+    Closure = Next;
+  }
+
+  // Total effects: everything a method's transitive callees do.
+  TotalWrite =
+      Closure.compose(DirectWrite, {AU.Callee}, {AU.Mth}, "se:totalw");
+  TotalRead =
+      Closure.compose(DirectRead, {AU.Callee}, {AU.Mth}, "se:totalr");
+}
+
+//===----------------------------------------------------------------------===//
+// Orchestration
+//===----------------------------------------------------------------------===//
+
+WholeProgramAnalysis::WholeProgramAnalysis(AnalysisUniverse &AU)
+    : AU(AU), H(AU), VCR(AU, H), PTA(AU), CGB(AU, H, VCR, PTA) {}
+
+void WholeProgramAnalysis::run() {
+  CGB.run();
+  SEA = std::make_unique<SideEffectAnalysis>(AU, PTA, CGB);
+}

@@ -1,0 +1,860 @@
+//===- BddManager.cpp - ROBDD manager implementation ----------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Bdd.h"
+#include "util/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace jedd;
+using namespace jedd::bdd;
+
+//===----------------------------------------------------------------------===//
+// Bdd handle
+//===----------------------------------------------------------------------===//
+
+Bdd::Bdd(Manager *Mgr, NodeRef Ref) : Mgr(Mgr), Ref(Ref) {
+  if (Mgr)
+    Mgr->incRef(Ref);
+}
+
+Bdd::Bdd(const Bdd &Other) : Mgr(Other.Mgr), Ref(Other.Ref) {
+  if (Mgr)
+    Mgr->incRef(Ref);
+}
+
+Bdd::Bdd(Bdd &&Other) noexcept : Mgr(Other.Mgr), Ref(Other.Ref) {
+  Other.Mgr = nullptr;
+  Other.Ref = FalseRef;
+}
+
+Bdd &Bdd::operator=(const Bdd &Other) {
+  if (this == &Other)
+    return *this;
+  if (Other.Mgr)
+    Other.Mgr->incRef(Other.Ref);
+  if (Mgr)
+    Mgr->decRef(Ref);
+  Mgr = Other.Mgr;
+  Ref = Other.Ref;
+  return *this;
+}
+
+Bdd &Bdd::operator=(Bdd &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Mgr)
+    Mgr->decRef(Ref);
+  Mgr = Other.Mgr;
+  Ref = Other.Ref;
+  Other.Mgr = nullptr;
+  Other.Ref = FalseRef;
+  return *this;
+}
+
+Bdd::~Bdd() {
+  if (Mgr)
+    Mgr->decRef(Ref);
+}
+
+//===----------------------------------------------------------------------===//
+// Manager: construction and node pool
+//===----------------------------------------------------------------------===//
+
+static size_t roundUpPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+static uint32_t hashTriple(uint32_t A, uint32_t B, uint32_t C) {
+  uint64_t H = (uint64_t)A * 0x9e3779b97f4a7c15ULL;
+  H ^= (uint64_t)B * 0xc2b2ae3d27d4eb4fULL;
+  H ^= (uint64_t)C * 0x165667b19e3779f9ULL;
+  H ^= H >> 29;
+  return static_cast<uint32_t>(H);
+}
+
+Manager::Manager(unsigned NumVars, size_t InitialNodes, size_t CacheSize)
+    : NumVars(NumVars), TotalVars(2 * NumVars) {
+  assert(NumVars > 0 && "a manager needs at least one variable");
+  size_t Capacity = std::max<size_t>(roundUpPow2(InitialNodes), 1024);
+  Nodes.resize(Capacity);
+  Marks.assign(Capacity, 0);
+  Buckets.assign(roundUpPow2(Capacity), NoNode);
+
+  // Terminals. A permanent reference count keeps them off the free list.
+  Nodes[FalseRef] = {VarTerminal, FalseRef, FalseRef, NoNode, 1};
+  Nodes[TrueRef] = {VarTerminal, TrueRef, TrueRef, NoNode, 1};
+
+  // Chain the remaining slots onto the free list (ascending order so node
+  // indices are allocated densely from low addresses).
+  FreeHead = NoNode;
+  FreeCount = 0;
+  for (size_t I = Capacity; I-- > 2;) {
+    Nodes[I].Var = VarFree;
+    Nodes[I].Low = FreeHead;
+    FreeHead = static_cast<uint32_t>(I);
+    ++FreeCount;
+  }
+
+  Cache.assign(roundUpPow2(std::max<size_t>(CacheSize, 1024)), CacheEntry());
+  CacheMask = Cache.size() - 1;
+}
+
+NodeRef Manager::makeNode(uint32_t Var, NodeRef Low, NodeRef High) {
+  assert(Var < TotalVars && "variable out of range");
+  assert(varOf(Low) > Var && varOf(High) > Var &&
+         "children must be below the new node in the order");
+  if (Low == High)
+    return Low;
+
+  uint32_t Hash = hashTriple(Var, Low, High) & (Buckets.size() - 1);
+  for (uint32_t N = Buckets[Hash]; N != NoNode; N = Nodes[N].Next)
+    if (Nodes[N].Var == Var && Nodes[N].Low == Low && Nodes[N].High == High)
+      return N;
+
+  if (FreeHead == NoNode) {
+    growPool();
+    Hash = hashTriple(Var, Low, High) & (Buckets.size() - 1);
+  }
+
+  uint32_t N = FreeHead;
+  FreeHead = Nodes[N].Low;
+  --FreeCount;
+  ++NodesCreated;
+  Nodes[N] = {Var, Low, High, Buckets[Hash], 0};
+  Buckets[Hash] = N;
+  return N;
+}
+
+void Manager::growPool() {
+  // Growing (rather than collecting) is the only safe response while a
+  // recursive operation is in flight: unreferenced intermediate results
+  // must survive. See the class comment.
+  size_t OldCapacity = Nodes.size();
+  size_t NewCapacity = OldCapacity * 2;
+  Nodes.resize(NewCapacity);
+  Marks.resize(NewCapacity, 0);
+  for (size_t I = NewCapacity; I-- > OldCapacity;) {
+    Nodes[I].Var = VarFree;
+    Nodes[I].Low = FreeHead;
+    FreeHead = static_cast<uint32_t>(I);
+    ++FreeCount;
+  }
+  if (Nodes.size() > 2 * Buckets.size())
+    rehash();
+}
+
+void Manager::rehash() {
+  Buckets.assign(roundUpPow2(Nodes.size()), NoNode);
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N) {
+    Node &Nd = Nodes[N];
+    if (Nd.Var >= VarFree)
+      continue;
+    uint32_t Hash = hashTriple(Nd.Var, Nd.Low, Nd.High) & (Buckets.size() - 1);
+    Nd.Next = Buckets[Hash];
+    Buckets[Hash] = N;
+  }
+}
+
+void Manager::clearCache() {
+  for (CacheEntry &E : Cache)
+    E.Tag = 0xFFFFFFFFu;
+}
+
+void Manager::markRec(NodeRef N) {
+  while (!isTerminal(N) && !Marks[N]) {
+    Marks[N] = 1;
+    markRec(Nodes[N].Low);
+    N = Nodes[N].High;
+  }
+}
+
+void Manager::gc() {
+  std::fill(Marks.begin(), Marks.end(), 0);
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
+    if (Nodes[N].Var < VarFree && Nodes[N].RefCount > 0)
+      markRec(N);
+
+  FreeHead = NoNode;
+  FreeCount = 0;
+  for (size_t I = Nodes.size(); I-- > 2;) {
+    if (Nodes[I].Var < VarFree && !Marks[I]) {
+      Nodes[I].Var = VarFree;
+      Nodes[I].Low = FreeHead;
+      FreeHead = static_cast<uint32_t>(I);
+      ++FreeCount;
+    } else if (Nodes[I].Var == VarFree) {
+      Nodes[I].Low = FreeHead;
+      FreeHead = static_cast<uint32_t>(I);
+      ++FreeCount;
+    }
+  }
+  rehash();
+  clearCache();
+  ++GcRuns;
+}
+
+void Manager::gcIfNeeded() {
+  if (FreeCount * 8 < Nodes.size())
+    gc();
+}
+
+void Manager::incRef(NodeRef Ref) {
+  Node &Nd = Nodes[Ref];
+  if (Nd.RefCount != 0xFFFFFFFFu)
+    ++Nd.RefCount;
+}
+
+void Manager::decRef(NodeRef Ref) {
+  Node &Nd = Nodes[Ref];
+  assert(Nd.RefCount > 0 && "reference count underflow");
+  if (Nd.RefCount != 0xFFFFFFFFu)
+    --Nd.RefCount;
+}
+
+uint32_t Manager::refCount(NodeRef Ref) const { return Nodes[Ref].RefCount; }
+
+size_t Manager::liveNodeCount() {
+  std::fill(Marks.begin(), Marks.end(), 0);
+  size_t Live = 0;
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
+    if (Nodes[N].Var < VarFree && Nodes[N].RefCount > 0)
+      markRec(N);
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
+    if (Nodes[N].Var < VarFree && Marks[N])
+      ++Live;
+  return Live;
+}
+
+ManagerStats Manager::stats() const {
+  ManagerStats S;
+  S.Capacity = Nodes.size();
+  S.FreeNodes = FreeCount;
+  S.LiveNodes = Nodes.size() - FreeCount - 2;
+  S.GcRuns = GcRuns;
+  S.CacheHits = CacheHits;
+  S.CacheLookups = CacheLookups;
+  S.NodesCreated = NodesCreated;
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Computed cache
+//===----------------------------------------------------------------------===//
+
+namespace {
+// Operation tags for the computed cache. Binary apply operators use their
+// Op value directly; the rest start above them.
+enum CacheTag : uint32_t {
+  TagNot = 16,
+  TagIte = 17,
+  TagExists = 18,
+  TagRelProd = 19,
+  TagRestrict0 = 20,
+  TagRestrict1 = 21,
+  TagReplaceBase = 64, // TagReplaceBase + per-map id.
+};
+} // namespace
+
+bool Manager::cacheLookup(uint32_t Tag, NodeRef A, NodeRef B, NodeRef C,
+                          NodeRef &Result) {
+  ++CacheLookups;
+  CacheEntry &E = Cache[hashTriple(A ^ (Tag * 0x85ebca6bu), B, C) & CacheMask];
+  if (E.Tag == Tag && E.A == A && E.B == B && E.C == C) {
+    ++CacheHits;
+    Result = E.Result;
+    return true;
+  }
+  return false;
+}
+
+void Manager::cacheStore(uint32_t Tag, NodeRef A, NodeRef B, NodeRef C,
+                         NodeRef Result) {
+  CacheEntry &E = Cache[hashTriple(A ^ (Tag * 0x85ebca6bu), B, C) & CacheMask];
+  E = {Tag, A, B, C, Result};
+}
+
+//===----------------------------------------------------------------------===//
+// Literals and apply
+//===----------------------------------------------------------------------===//
+
+Bdd Manager::var(unsigned Var) {
+  assert(Var < NumVars && "client variable out of range");
+  gcIfNeeded();
+  return Bdd(this, makeNode(Var, FalseRef, TrueRef));
+}
+
+Bdd Manager::nvar(unsigned Var) {
+  assert(Var < NumVars && "client variable out of range");
+  gcIfNeeded();
+  return Bdd(this, makeNode(Var, TrueRef, FalseRef));
+}
+
+NodeRef Manager::applyRec(Op Operator, NodeRef F, NodeRef G) {
+  // Terminal rules per operator.
+  switch (Operator) {
+  case Op::And:
+    if (F == FalseRef || G == FalseRef)
+      return FalseRef;
+    if (F == TrueRef)
+      return G;
+    if (G == TrueRef || F == G)
+      return F;
+    break;
+  case Op::Or:
+    if (F == TrueRef || G == TrueRef)
+      return TrueRef;
+    if (F == FalseRef)
+      return G;
+    if (G == FalseRef || F == G)
+      return F;
+    break;
+  case Op::Xor:
+    if (F == G)
+      return FalseRef;
+    if (F == FalseRef)
+      return G;
+    if (G == FalseRef)
+      return F;
+    if (F == TrueRef)
+      return notRec(G);
+    if (G == TrueRef)
+      return notRec(F);
+    break;
+  case Op::Diff:
+    if (F == FalseRef || G == TrueRef || F == G)
+      return FalseRef;
+    if (G == FalseRef)
+      return F;
+    if (F == TrueRef)
+      return notRec(G);
+    break;
+  case Op::Imp:
+    if (F == FalseRef || G == TrueRef || F == G)
+      return TrueRef;
+    if (F == TrueRef)
+      return G;
+    if (G == FalseRef)
+      return notRec(F);
+    break;
+  case Op::Biimp:
+    if (F == G)
+      return TrueRef;
+    if (F == TrueRef)
+      return G;
+    if (G == TrueRef)
+      return F;
+    if (F == FalseRef)
+      return notRec(G);
+    if (G == FalseRef)
+      return notRec(F);
+    break;
+  }
+
+  // Normalize commutative operators for better cache reuse.
+  NodeRef A = F, B = G;
+  if ((Operator == Op::And || Operator == Op::Or || Operator == Op::Xor ||
+       Operator == Op::Biimp) &&
+      A > B)
+    std::swap(A, B);
+
+  uint32_t Tag = static_cast<uint32_t>(Operator);
+  NodeRef Result;
+  if (cacheLookup(Tag, A, B, 0, Result))
+    return Result;
+
+  uint32_t VarF = varOf(F), VarG = varOf(G);
+  uint32_t Var = std::min(VarF, VarG);
+  NodeRef F0 = VarF == Var ? Nodes[F].Low : F;
+  NodeRef F1 = VarF == Var ? Nodes[F].High : F;
+  NodeRef G0 = VarG == Var ? Nodes[G].Low : G;
+  NodeRef G1 = VarG == Var ? Nodes[G].High : G;
+
+  NodeRef Low = applyRec(Operator, F0, G0);
+  NodeRef High = applyRec(Operator, F1, G1);
+  Result = makeNode(Var, Low, High);
+  cacheStore(Tag, A, B, 0, Result);
+  return Result;
+}
+
+Bdd Manager::apply(Op Operator, const Bdd &F, const Bdd &G) {
+  assert(F.manager() == this && G.manager() == this &&
+         "operands belong to another manager");
+  gcIfNeeded();
+  return Bdd(this, applyRec(Operator, F.ref(), G.ref()));
+}
+
+NodeRef Manager::notRec(NodeRef F) {
+  if (F == FalseRef)
+    return TrueRef;
+  if (F == TrueRef)
+    return FalseRef;
+  NodeRef Result;
+  if (cacheLookup(TagNot, F, 0, 0, Result))
+    return Result;
+  Result = makeNode(Nodes[F].Var, notRec(Nodes[F].Low), notRec(Nodes[F].High));
+  cacheStore(TagNot, F, 0, 0, Result);
+  return Result;
+}
+
+Bdd Manager::bddNot(const Bdd &F) {
+  assert(F.manager() == this && "operand belongs to another manager");
+  gcIfNeeded();
+  return Bdd(this, notRec(F.ref()));
+}
+
+NodeRef Manager::iteRec(NodeRef F, NodeRef G, NodeRef H) {
+  if (F == TrueRef)
+    return G;
+  if (F == FalseRef)
+    return H;
+  if (G == H)
+    return G;
+  if (G == TrueRef && H == FalseRef)
+    return F;
+  if (G == FalseRef && H == TrueRef)
+    return notRec(F);
+
+  NodeRef Result;
+  if (cacheLookup(TagIte, F, G, H, Result))
+    return Result;
+
+  uint32_t Var = std::min({varOf(F), varOf(G), varOf(H)});
+  auto Cof = [&](NodeRef N, bool HighBranch) {
+    if (varOf(N) != Var)
+      return N;
+    return HighBranch ? Nodes[N].High : Nodes[N].Low;
+  };
+  NodeRef Low = iteRec(Cof(F, false), Cof(G, false), Cof(H, false));
+  NodeRef High = iteRec(Cof(F, true), Cof(G, true), Cof(H, true));
+  Result = makeNode(Var, Low, High);
+  cacheStore(TagIte, F, G, H, Result);
+  return Result;
+}
+
+Bdd Manager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
+  assert(F.manager() == this && G.manager() == this && H.manager() == this &&
+         "operands belong to another manager");
+  gcIfNeeded();
+  return Bdd(this, iteRec(F.ref(), G.ref(), H.ref()));
+}
+
+//===----------------------------------------------------------------------===//
+// Quantification and relational product
+//===----------------------------------------------------------------------===//
+
+Bdd Manager::cube(const std::vector<unsigned> &Vars) {
+  std::vector<unsigned> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  assert(std::adjacent_find(Sorted.begin(), Sorted.end()) == Sorted.end() &&
+         "duplicate variable in cube");
+  gcIfNeeded();
+  NodeRef Result = TrueRef;
+  for (size_t I = Sorted.size(); I-- > 0;) {
+    assert(Sorted[I] < TotalVars && "cube variable out of range");
+    Result = makeNode(Sorted[I], FalseRef, Result);
+  }
+  return Bdd(this, Result);
+}
+
+NodeRef Manager::existsRec(NodeRef F, NodeRef CubeBdd) {
+  if (isTerminal(F))
+    return F;
+  // Skip quantified variables above F's top variable.
+  while (!isTerminal(CubeBdd) && varOf(CubeBdd) < varOf(F))
+    CubeBdd = Nodes[CubeBdd].High;
+  if (isTerminal(CubeBdd))
+    return F;
+
+  NodeRef Result;
+  if (cacheLookup(TagExists, F, CubeBdd, 0, Result))
+    return Result;
+
+  uint32_t Var = varOf(F);
+  NodeRef Low = existsRec(Nodes[F].Low, CubeBdd);
+  NodeRef High = existsRec(Nodes[F].High, CubeBdd);
+  if (varOf(CubeBdd) == Var)
+    Result = applyRec(Op::Or, Low, High);
+  else
+    Result = makeNode(Var, Low, High);
+  cacheStore(TagExists, F, CubeBdd, 0, Result);
+  return Result;
+}
+
+Bdd Manager::exists(const Bdd &F, const Bdd &CubeBdd) {
+  assert(F.manager() == this && CubeBdd.manager() == this &&
+         "operands belong to another manager");
+  gcIfNeeded();
+  return Bdd(this, existsRec(F.ref(), CubeBdd.ref()));
+}
+
+NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
+  if (F == FalseRef || G == FalseRef)
+    return FalseRef;
+  if (F == TrueRef && G == TrueRef)
+    return TrueRef;
+
+  uint32_t Var = std::min(varOf(F), varOf(G));
+  while (!isTerminal(CubeBdd) && varOf(CubeBdd) < Var)
+    CubeBdd = Nodes[CubeBdd].High;
+  if (isTerminal(CubeBdd))
+    return applyRec(Op::And, F, G);
+
+  NodeRef Result;
+  if (cacheLookup(TagRelProd, F, G, CubeBdd, Result))
+    return Result;
+
+  NodeRef F0 = varOf(F) == Var ? Nodes[F].Low : F;
+  NodeRef F1 = varOf(F) == Var ? Nodes[F].High : F;
+  NodeRef G0 = varOf(G) == Var ? Nodes[G].Low : G;
+  NodeRef G1 = varOf(G) == Var ? Nodes[G].High : G;
+
+  if (varOf(CubeBdd) == Var) {
+    NodeRef Low = relProdRec(F0, G0, Nodes[CubeBdd].High);
+    // Short-circuit: x OR true == true.
+    if (Low == TrueRef)
+      Result = TrueRef;
+    else
+      Result = applyRec(Op::Or, Low, relProdRec(F1, G1, Nodes[CubeBdd].High));
+  } else {
+    NodeRef Low = relProdRec(F0, G0, CubeBdd);
+    NodeRef High = relProdRec(F1, G1, CubeBdd);
+    Result = makeNode(Var, Low, High);
+  }
+  cacheStore(TagRelProd, F, G, CubeBdd, Result);
+  return Result;
+}
+
+Bdd Manager::relProd(const Bdd &F, const Bdd &G, const Bdd &CubeBdd) {
+  assert(F.manager() == this && G.manager() == this &&
+         CubeBdd.manager() == this && "operands belong to another manager");
+  gcIfNeeded();
+  return Bdd(this, relProdRec(F.ref(), G.ref(), CubeBdd.ref()));
+}
+
+//===----------------------------------------------------------------------===//
+// Replace
+//===----------------------------------------------------------------------===//
+
+bool Manager::isOrderPreserving(const std::vector<int> &Map,
+                                const std::vector<unsigned> &Support) const {
+  int LastImage = -1;
+  for (unsigned V : Support) {
+    int Image = (V < Map.size() && Map[V] >= 0) ? Map[V] : static_cast<int>(V);
+    if (Image <= LastImage)
+      return false;
+    LastImage = Image;
+  }
+  return true;
+}
+
+NodeRef Manager::replaceRec(NodeRef F, const std::vector<int> &FullMap,
+                            uint32_t CacheTag) {
+  if (isTerminal(F))
+    return F;
+  NodeRef Result;
+  if (cacheLookup(CacheTag, F, 0, 0, Result))
+    return Result;
+  NodeRef Low = replaceRec(Nodes[F].Low, FullMap, CacheTag);
+  NodeRef High = replaceRec(Nodes[F].High, FullMap, CacheTag);
+  uint32_t Var = Nodes[F].Var;
+  uint32_t Image =
+      (Var < FullMap.size() && FullMap[Var] >= 0) ? FullMap[Var] : Var;
+  Result = makeNode(Image, Low, High);
+  cacheStore(CacheTag, F, 0, 0, Result);
+  return Result;
+}
+
+Bdd Manager::replace(const Bdd &F, const std::vector<int> &Map) {
+  assert(F.manager() == this && "operand belongs to another manager");
+  assert(Map.size() <= NumVars && "replace map covers client variables only");
+
+  std::vector<unsigned> Supp = support(F);
+  std::vector<std::pair<unsigned, unsigned>> Moves;
+  for (unsigned V : Supp)
+    if (V < Map.size() && Map[V] >= 0 && static_cast<unsigned>(Map[V]) != V)
+      Moves.push_back({V, static_cast<unsigned>(Map[V])});
+  if (Moves.empty())
+    return F;
+
+#ifndef NDEBUG
+  // Validity: injective on the moved sources; targets either moved away
+  // themselves or absent from the support.
+  {
+    std::vector<unsigned> Targets;
+    for (auto &M : Moves)
+      Targets.push_back(M.second);
+    std::sort(Targets.begin(), Targets.end());
+    assert(std::adjacent_find(Targets.begin(), Targets.end()) ==
+               Targets.end() &&
+           "replace map must be injective");
+    for (unsigned T : Targets) {
+      bool InSupport = std::binary_search(Supp.begin(), Supp.end(), T);
+      bool IsMovedSource = false;
+      for (auto &M : Moves)
+        IsMovedSource |= (M.first == T);
+      assert((!InSupport || IsMovedSource) &&
+             "replace target collides with a live variable");
+    }
+  }
+#endif
+
+  // Cache entries are keyed per distinct map via a small registry. The
+  // fast and general paths compute the same canonical result, so they
+  // can share cache entries.
+  static thread_local std::map<std::vector<int>, uint32_t> MapIds;
+  auto [It, Inserted] =
+      MapIds.try_emplace(Map, static_cast<uint32_t>(MapIds.size()));
+  (void)Inserted;
+  uint32_t Tag = TagReplaceBase + It->second;
+  gcIfNeeded();
+
+  if (isOrderPreserving(Map, Supp))
+    // A single bottom-up relabeling recursion is sound because relative
+    // variable order is unchanged.
+    return Bdd(this, replaceRec(F.ref(), Map, Tag));
+
+  // General path (order-inverting maps, e.g. swaps of interleaved
+  // blocks): rebuild bottom-up, inserting each image variable with an
+  // ITE so it sinks to its proper level. Correct for any injective map
+  // whose targets are free (asserted above); polynomial, unlike the
+  // naive conjunction-with-equality encoding, whose transfer BDD is
+  // exponential in the block width.
+  return Bdd(this, replaceViaIteRec(F.ref(), Map, Tag | 0x80000000u));
+}
+
+jedd::bdd::NodeRef Manager::replaceViaIteRec(NodeRef F,
+                                             const std::vector<int> &Map,
+                                             uint32_t Tag) {
+  if (isTerminal(F))
+    return F;
+  NodeRef Result;
+  if (cacheLookup(Tag, F, 0, 0, Result))
+    return Result;
+  NodeRef Low = replaceViaIteRec(Nodes[F].Low, Map, Tag);
+  NodeRef High = replaceViaIteRec(Nodes[F].High, Map, Tag);
+  uint32_t Var = Nodes[F].Var;
+  uint32_t Image =
+      (Var < Map.size() && Map[Var] >= 0) ? Map[Var] : Var;
+  NodeRef Lit = makeNode(Image, FalseRef, TrueRef);
+  Result = iteRec(Lit, High, Low);
+  cacheStore(Tag, F, 0, 0, Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Restrict
+//===----------------------------------------------------------------------===//
+
+NodeRef Manager::restrictRec(NodeRef F, unsigned Var, bool Value) {
+  if (isTerminal(F) || varOf(F) > Var)
+    return F;
+  uint32_t Tag = Value ? TagRestrict1 : TagRestrict0;
+  if (varOf(F) == Var)
+    return Value ? Nodes[F].High : Nodes[F].Low;
+  NodeRef Result;
+  if (cacheLookup(Tag, F, Var, 0, Result))
+    return Result;
+  NodeRef Low = restrictRec(Nodes[F].Low, Var, Value);
+  NodeRef High = restrictRec(Nodes[F].High, Var, Value);
+  Result = makeNode(Nodes[F].Var, Low, High);
+  cacheStore(Tag, F, Var, 0, Result);
+  return Result;
+}
+
+Bdd Manager::restrict(const Bdd &F, unsigned Var, bool Value) {
+  assert(F.manager() == this && "operand belongs to another manager");
+  assert(Var < TotalVars && "variable out of range");
+  gcIfNeeded();
+  return Bdd(this, restrictRec(F.ref(), Var, Value));
+}
+
+//===----------------------------------------------------------------------===//
+// Inspection
+//===----------------------------------------------------------------------===//
+
+uint32_t Manager::newStamp() const {
+  if (Stamps.size() < Nodes.size())
+    Stamps.resize(Nodes.size(), 0);
+  if (++CurrentStamp == 0) {
+    std::fill(Stamps.begin(), Stamps.end(), 0);
+    CurrentStamp = 1;
+  }
+  return CurrentStamp;
+}
+
+double Manager::satCountRec(NodeRef F,
+                            std::unordered_map<NodeRef, double> &Memo) {
+  if (F == FalseRef)
+    return 0.0;
+  if (F == TrueRef)
+    return 1.0;
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  const Node &Nd = Nodes[F];
+  auto LevelOf = [&](NodeRef N) {
+    return isTerminal(N) ? NumVars : varOf(N);
+  };
+  double Low = satCountRec(Nd.Low, Memo) *
+               std::pow(2.0, LevelOf(Nd.Low) - Nd.Var - 1);
+  double High = satCountRec(Nd.High, Memo) *
+                std::pow(2.0, LevelOf(Nd.High) - Nd.Var - 1);
+  double Result = Low + High;
+  Memo.emplace(F, Result);
+  return Result;
+}
+
+double Manager::satCount(const Bdd &F) {
+  assert(F.manager() == this && "operand belongs to another manager");
+#ifndef NDEBUG
+  for (unsigned V : support(F))
+    assert(V < NumVars && "satCount over a BDD holding scratch variables");
+#endif
+  std::unordered_map<NodeRef, double> Memo;
+  NodeRef Root = F.ref();
+  unsigned TopLevel = isTerminal(Root) ? NumVars : varOf(Root);
+  return satCountRec(Root, Memo) * std::pow(2.0, TopLevel);
+}
+
+size_t Manager::nodeCount(const Bdd &F) {
+  uint32_t Stamp = newStamp();
+  std::vector<NodeRef> Stack = {F.ref()};
+  size_t Count = 0;
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back();
+    Stack.pop_back();
+    if (isTerminal(N) || Stamps[N] == Stamp)
+      continue;
+    Stamps[N] = Stamp;
+    ++Count;
+    Stack.push_back(Nodes[N].Low);
+    Stack.push_back(Nodes[N].High);
+  }
+  return Count;
+}
+
+std::vector<size_t> Manager::levelShape(const Bdd &F) {
+  std::vector<size_t> Shape(NumVars, 0);
+  uint32_t Stamp = newStamp();
+  std::vector<NodeRef> Stack = {F.ref()};
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back();
+    Stack.pop_back();
+    if (isTerminal(N) || Stamps[N] == Stamp)
+      continue;
+    Stamps[N] = Stamp;
+    if (Nodes[N].Var < NumVars)
+      ++Shape[Nodes[N].Var];
+    Stack.push_back(Nodes[N].Low);
+    Stack.push_back(Nodes[N].High);
+  }
+  return Shape;
+}
+
+std::vector<unsigned> Manager::support(const Bdd &F) {
+  std::vector<uint8_t> InSupport(TotalVars, 0);
+  uint32_t Stamp = newStamp();
+  std::vector<NodeRef> Stack = {F.ref()};
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back();
+    Stack.pop_back();
+    if (isTerminal(N) || Stamps[N] == Stamp)
+      continue;
+    Stamps[N] = Stamp;
+    InSupport[Nodes[N].Var] = 1;
+    Stack.push_back(Nodes[N].Low);
+    Stack.push_back(Nodes[N].High);
+  }
+  std::vector<unsigned> Result;
+  for (unsigned V = 0; V != TotalVars; ++V)
+    if (InSupport[V])
+      Result.push_back(V);
+  return Result;
+}
+
+void Manager::enumerate(
+    const Bdd &F, const std::vector<unsigned> &Vars,
+    const std::function<bool(const std::vector<bool> &)> &Fn) {
+  assert(std::is_sorted(Vars.begin(), Vars.end()) &&
+         "enumeration variables must be sorted by level");
+#ifndef NDEBUG
+  for (unsigned V : support(F))
+    assert(std::binary_search(Vars.begin(), Vars.end(), V) &&
+           "enumeration variables must cover the support");
+#endif
+
+  std::vector<bool> Bits(Vars.size(), false);
+  // Returns false when the callback asked to stop.
+  std::function<bool(NodeRef, size_t)> Rec = [&](NodeRef N,
+                                                 size_t Index) -> bool {
+    if (N == FalseRef)
+      return true;
+    if (Index == Vars.size())
+      return Fn(Bits);
+    uint32_t Var = Vars[Index];
+    if (!isTerminal(N) && varOf(N) == Var) {
+      Bits[Index] = false;
+      if (!Rec(Nodes[N].Low, Index + 1))
+        return false;
+      Bits[Index] = true;
+      return Rec(Nodes[N].High, Index + 1);
+    }
+    // Don't-care on Var: both branches on the same node.
+    Bits[Index] = false;
+    if (!Rec(N, Index + 1))
+      return false;
+    Bits[Index] = true;
+    return Rec(N, Index + 1);
+  };
+  Rec(F.ref(), 0);
+}
+
+bool Manager::evalAssignment(const Bdd &F,
+                             const std::vector<bool> &Assignment) const {
+  NodeRef N = F.ref();
+  while (!isTerminal(N)) {
+    assert(Nodes[N].Var < Assignment.size() &&
+           "assignment does not cover the support");
+    N = Assignment[Nodes[N].Var] ? Nodes[N].High : Nodes[N].Low;
+  }
+  return N == TrueRef;
+}
+
+std::string Manager::toDot(const Bdd &F) {
+  std::string Out = "digraph bdd {\n  node [shape=circle];\n";
+  Out += "  f0 [shape=box,label=\"0\"];\n  f1 [shape=box,label=\"1\"];\n";
+  uint32_t Stamp = newStamp();
+  std::vector<NodeRef> Stack = {F.ref()};
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back();
+    Stack.pop_back();
+    if (isTerminal(N) || Stamps[N] == Stamp)
+      continue;
+    Stamps[N] = Stamp;
+    auto Name = [](NodeRef R) {
+      if (R == FalseRef)
+        return std::string("f0");
+      if (R == TrueRef)
+        return std::string("f1");
+      return strFormat("n%u", R);
+    };
+    Out += strFormat("  n%u [label=\"x%u\"];\n", N, Nodes[N].Var);
+    Out += strFormat("  n%u -> %s [style=dashed];\n", N,
+                     Name(Nodes[N].Low).c_str());
+    Out += strFormat("  n%u -> %s;\n", N, Name(Nodes[N].High).c_str());
+    Stack.push_back(Nodes[N].Low);
+    Stack.push_back(Nodes[N].High);
+  }
+  Out += "}\n";
+  return Out;
+}

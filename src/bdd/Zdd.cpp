@@ -1,0 +1,490 @@
+//===- Zdd.cpp - Zero-suppressed binary decision diagrams ------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/Zdd.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace jedd;
+using namespace jedd::bdd;
+
+//===----------------------------------------------------------------------===//
+// Handle
+//===----------------------------------------------------------------------===//
+
+Zdd::Zdd(ZddManager *Mgr, ZddRef Ref) : Mgr(Mgr), Ref(Ref) {
+  if (Mgr)
+    Mgr->incRef(Ref);
+}
+
+Zdd::Zdd(const Zdd &Other) : Mgr(Other.Mgr), Ref(Other.Ref) {
+  if (Mgr)
+    Mgr->incRef(Ref);
+}
+
+Zdd::Zdd(Zdd &&Other) noexcept : Mgr(Other.Mgr), Ref(Other.Ref) {
+  Other.Mgr = nullptr;
+  Other.Ref = ZddEmpty;
+}
+
+Zdd &Zdd::operator=(const Zdd &Other) {
+  if (this == &Other)
+    return *this;
+  if (Other.Mgr)
+    Other.Mgr->incRef(Other.Ref);
+  if (Mgr)
+    Mgr->decRef(Ref);
+  Mgr = Other.Mgr;
+  Ref = Other.Ref;
+  return *this;
+}
+
+Zdd &Zdd::operator=(Zdd &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  if (Mgr)
+    Mgr->decRef(Ref);
+  Mgr = Other.Mgr;
+  Ref = Other.Ref;
+  Other.Mgr = nullptr;
+  Other.Ref = ZddEmpty;
+  return *this;
+}
+
+Zdd::~Zdd() {
+  if (Mgr)
+    Mgr->decRef(Ref);
+}
+
+//===----------------------------------------------------------------------===//
+// Manager core
+//===----------------------------------------------------------------------===//
+
+static size_t roundUpPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+static uint32_t hashTriple(uint32_t A, uint32_t B, uint32_t C) {
+  uint64_t H = (uint64_t)A * 0x9e3779b97f4a7c15ULL;
+  H ^= (uint64_t)B * 0xc2b2ae3d27d4eb4fULL;
+  H ^= (uint64_t)C * 0x165667b19e3779f9ULL;
+  H ^= H >> 29;
+  return static_cast<uint32_t>(H);
+}
+
+ZddManager::ZddManager(unsigned NumVars, size_t InitialNodes,
+                       size_t CacheSize)
+    : NumVars(NumVars) {
+  assert(NumVars > 0 && "a manager needs at least one variable");
+  size_t Capacity = std::max<size_t>(roundUpPow2(InitialNodes), 1024);
+  Nodes.resize(Capacity);
+  Marks.assign(Capacity, 0);
+  Buckets.assign(roundUpPow2(Capacity), NoNode);
+
+  Nodes[ZddEmpty] = {VarTerminal, ZddEmpty, ZddEmpty, NoNode, 1};
+  Nodes[ZddBase] = {VarTerminal, ZddBase, ZddBase, NoNode, 1};
+
+  FreeHead = NoNode;
+  FreeCount = 0;
+  for (size_t I = Capacity; I-- > 2;) {
+    Nodes[I].Var = VarFree;
+    Nodes[I].Low = FreeHead;
+    FreeHead = static_cast<uint32_t>(I);
+    ++FreeCount;
+  }
+  Cache.assign(roundUpPow2(std::max<size_t>(CacheSize, 1024)),
+               CacheEntry());
+  CacheMask = Cache.size() - 1;
+}
+
+ZddRef ZddManager::makeNode(uint32_t Var, ZddRef Low, ZddRef High) {
+  assert(Var < NumVars && "variable out of range");
+  assert(varOf(Low) > Var && varOf(High) > Var &&
+         "children must be below the new node in the order");
+  // The zero-suppression rule: a node whose 1-branch is the empty family
+  // adds nothing.
+  if (High == ZddEmpty)
+    return Low;
+
+  uint32_t Hash = hashTriple(Var, Low, High) & (Buckets.size() - 1);
+  for (uint32_t N = Buckets[Hash]; N != NoNode; N = Nodes[N].Next)
+    if (Nodes[N].Var == Var && Nodes[N].Low == Low && Nodes[N].High == High)
+      return N;
+
+  if (FreeHead == NoNode) {
+    growPool();
+    Hash = hashTriple(Var, Low, High) & (Buckets.size() - 1);
+  }
+  uint32_t N = FreeHead;
+  FreeHead = Nodes[N].Low;
+  --FreeCount;
+  Nodes[N] = {Var, Low, High, Buckets[Hash], 0};
+  Buckets[Hash] = N;
+  return N;
+}
+
+void ZddManager::growPool() {
+  size_t OldCapacity = Nodes.size();
+  size_t NewCapacity = OldCapacity * 2;
+  Nodes.resize(NewCapacity);
+  Marks.resize(NewCapacity, 0);
+  for (size_t I = NewCapacity; I-- > OldCapacity;) {
+    Nodes[I].Var = VarFree;
+    Nodes[I].Low = FreeHead;
+    FreeHead = static_cast<uint32_t>(I);
+    ++FreeCount;
+  }
+  if (Nodes.size() > 2 * Buckets.size())
+    rehash();
+}
+
+void ZddManager::rehash() {
+  Buckets.assign(roundUpPow2(Nodes.size()), NoNode);
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E;
+       ++N) {
+    Node &Nd = Nodes[N];
+    if (Nd.Var >= VarFree)
+      continue;
+    uint32_t Hash =
+        hashTriple(Nd.Var, Nd.Low, Nd.High) & (Buckets.size() - 1);
+    Nd.Next = Buckets[Hash];
+    Buckets[Hash] = N;
+  }
+}
+
+void ZddManager::clearCache() {
+  for (CacheEntry &E : Cache)
+    E.Tag = 0xFFFFFFFFu;
+}
+
+void ZddManager::markRec(ZddRef N) {
+  while (!isTerminal(N) && !Marks[N]) {
+    Marks[N] = 1;
+    markRec(Nodes[N].Low);
+    N = Nodes[N].High;
+  }
+}
+
+void ZddManager::gc() {
+  std::fill(Marks.begin(), Marks.end(), 0);
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
+    if (Nodes[N].Var < VarFree && Nodes[N].RefCount > 0)
+      markRec(N);
+  FreeHead = NoNode;
+  FreeCount = 0;
+  for (size_t I = Nodes.size(); I-- > 2;) {
+    if (Nodes[I].Var < VarFree && !Marks[I]) {
+      Nodes[I].Var = VarFree;
+      Nodes[I].Low = FreeHead;
+      FreeHead = static_cast<uint32_t>(I);
+      ++FreeCount;
+    } else if (Nodes[I].Var == VarFree) {
+      Nodes[I].Low = FreeHead;
+      FreeHead = static_cast<uint32_t>(I);
+      ++FreeCount;
+    }
+  }
+  rehash();
+  clearCache();
+}
+
+void ZddManager::gcIfNeeded() {
+  if (FreeCount * 8 < Nodes.size())
+    gc();
+}
+
+void ZddManager::incRef(ZddRef Ref) {
+  if (Nodes[Ref].RefCount != 0xFFFFFFFFu)
+    ++Nodes[Ref].RefCount;
+}
+
+void ZddManager::decRef(ZddRef Ref) {
+  assert(Nodes[Ref].RefCount > 0 && "reference count underflow");
+  if (Nodes[Ref].RefCount != 0xFFFFFFFFu)
+    --Nodes[Ref].RefCount;
+}
+
+size_t ZddManager::liveNodeCount() {
+  std::fill(Marks.begin(), Marks.end(), 0);
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
+    if (Nodes[N].Var < VarFree && Nodes[N].RefCount > 0)
+      markRec(N);
+  size_t Live = 0;
+  for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
+    if (Nodes[N].Var < VarFree && Marks[N])
+      ++Live;
+  return Live;
+}
+
+bool ZddManager::cacheLookup(uint32_t Tag, ZddRef A, ZddRef B,
+                             ZddRef &Result) {
+  CacheEntry &E = Cache[hashTriple(A ^ (Tag * 0x85ebca6bu), B, 0) &
+                        CacheMask];
+  if (E.Tag == Tag && E.A == A && E.B == B) {
+    Result = E.Result;
+    return true;
+  }
+  return false;
+}
+
+void ZddManager::cacheStore(uint32_t Tag, ZddRef A, ZddRef B,
+                            ZddRef Result) {
+  CacheEntry &E = Cache[hashTriple(A ^ (Tag * 0x85ebca6bu), B, 0) &
+                        CacheMask];
+  E = {Tag, A, B, Result};
+}
+
+//===----------------------------------------------------------------------===//
+// Algebra
+//===----------------------------------------------------------------------===//
+
+namespace {
+enum ZCacheTag : uint32_t {
+  TagUnion = 1,
+  TagIntersect = 2,
+  TagDiff = 3,
+  TagSubset0 = 4, // + 4*Var
+  TagSubset1 = 5,
+  TagChange = 6,
+};
+} // namespace
+
+ZddRef ZddManager::unionRec(ZddRef P, ZddRef Q) {
+  if (P == ZddEmpty)
+    return Q;
+  if (Q == ZddEmpty || P == Q)
+    return P;
+  ZddRef A = std::min(P, Q), B = std::max(P, Q);
+  ZddRef Result;
+  if (cacheLookup(TagUnion, A, B, Result))
+    return Result;
+
+  uint32_t VP = varOf(P), VQ = varOf(Q);
+  uint32_t Var = std::min(VP, VQ);
+  ZddRef P0 = VP == Var ? Nodes[P].Low : P;
+  ZddRef P1 = VP == Var ? Nodes[P].High : ZddEmpty;
+  ZddRef Q0 = VQ == Var ? Nodes[Q].Low : Q;
+  ZddRef Q1 = VQ == Var ? Nodes[Q].High : ZddEmpty;
+  Result = makeNode(Var, unionRec(P0, Q0), unionRec(P1, Q1));
+  cacheStore(TagUnion, A, B, Result);
+  return Result;
+}
+
+ZddRef ZddManager::intersectRec(ZddRef P, ZddRef Q) {
+  if (P == ZddEmpty || Q == ZddEmpty)
+    return ZddEmpty;
+  if (P == Q)
+    return P;
+  ZddRef A = std::min(P, Q), B = std::max(P, Q);
+  ZddRef Result;
+  if (cacheLookup(TagIntersect, A, B, Result))
+    return Result;
+
+  uint32_t VP = varOf(P), VQ = varOf(Q);
+  if (VP < VQ) {
+    // Combinations of P containing VP cannot be in Q.
+    Result = intersectRec(Nodes[P].Low, Q);
+  } else if (VQ < VP) {
+    Result = intersectRec(P, Nodes[Q].Low);
+  } else {
+    Result = makeNode(VP, intersectRec(Nodes[P].Low, Nodes[Q].Low),
+                      intersectRec(Nodes[P].High, Nodes[Q].High));
+  }
+  cacheStore(TagIntersect, A, B, Result);
+  return Result;
+}
+
+ZddRef ZddManager::diffRec(ZddRef P, ZddRef Q) {
+  if (P == ZddEmpty || P == Q)
+    return ZddEmpty;
+  if (Q == ZddEmpty)
+    return P;
+  ZddRef Result;
+  if (cacheLookup(TagDiff, P, Q, Result))
+    return Result;
+
+  uint32_t VP = varOf(P), VQ = varOf(Q);
+  if (VP < VQ) {
+    Result = makeNode(VP, diffRec(Nodes[P].Low, Q), Nodes[P].High);
+  } else if (VQ < VP) {
+    Result = diffRec(P, Nodes[Q].Low);
+  } else {
+    Result = makeNode(VP, diffRec(Nodes[P].Low, Nodes[Q].Low),
+                      diffRec(Nodes[P].High, Nodes[Q].High));
+  }
+  cacheStore(TagDiff, P, Q, Result);
+  return Result;
+}
+
+ZddRef ZddManager::subsetRec(ZddRef P, unsigned Var, bool Keep) {
+  uint32_t VP = varOf(P);
+  if (VP > Var) // Includes terminals.
+    return Keep ? ZddEmpty : P;
+  uint32_t Tag = (Keep ? TagSubset1 : TagSubset0) + 8 * Var;
+  ZddRef Result;
+  if (cacheLookup(Tag, P, 0, Result))
+    return Result;
+  if (VP == Var)
+    Result = Keep ? Nodes[P].High : Nodes[P].Low;
+  else
+    Result = makeNode(VP, subsetRec(Nodes[P].Low, Var, Keep),
+                      subsetRec(Nodes[P].High, Var, Keep));
+  cacheStore(Tag, P, 0, Result);
+  return Result;
+}
+
+ZddRef ZddManager::changeRec(ZddRef P, unsigned Var) {
+  uint32_t VP = varOf(P);
+  uint32_t Tag = TagChange + 8 * Var;
+  ZddRef Result;
+  if (cacheLookup(Tag, P, 0, Result))
+    return Result;
+  if (VP > Var) {
+    // Var absent everywhere: add it to every combination.
+    Result = makeNode(Var, ZddEmpty, P);
+  } else if (VP == Var) {
+    Result = makeNode(Var, Nodes[P].High, Nodes[P].Low);
+  } else {
+    Result = makeNode(VP, changeRec(Nodes[P].Low, Var),
+                      changeRec(Nodes[P].High, Var));
+  }
+  cacheStore(Tag, P, 0, Result);
+  return Result;
+}
+
+Zdd ZddManager::zddUnion(const Zdd &P, const Zdd &Q) {
+  gcIfNeeded();
+  return Zdd(this, unionRec(P.ref(), Q.ref()));
+}
+
+Zdd ZddManager::zddIntersect(const Zdd &P, const Zdd &Q) {
+  gcIfNeeded();
+  return Zdd(this, intersectRec(P.ref(), Q.ref()));
+}
+
+Zdd ZddManager::zddDiff(const Zdd &P, const Zdd &Q) {
+  gcIfNeeded();
+  return Zdd(this, diffRec(P.ref(), Q.ref()));
+}
+
+Zdd ZddManager::subset0(const Zdd &P, unsigned Var) {
+  gcIfNeeded();
+  return Zdd(this, subsetRec(P.ref(), Var, false));
+}
+
+Zdd ZddManager::subset1(const Zdd &P, unsigned Var) {
+  gcIfNeeded();
+  return Zdd(this, subsetRec(P.ref(), Var, true));
+}
+
+Zdd ZddManager::change(const Zdd &P, unsigned Var) {
+  gcIfNeeded();
+  return Zdd(this, changeRec(P.ref(), Var));
+}
+
+//===----------------------------------------------------------------------===//
+// Building and inspection
+//===----------------------------------------------------------------------===//
+
+Zdd ZddManager::single(unsigned Var) {
+  gcIfNeeded();
+  return Zdd(this, makeNode(Var, ZddEmpty, ZddBase));
+}
+
+Zdd ZddManager::combination(const std::vector<unsigned> &Vars) {
+  std::vector<unsigned> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  assert(std::adjacent_find(Sorted.begin(), Sorted.end()) == Sorted.end() &&
+         "duplicate variable in combination");
+  gcIfNeeded();
+  ZddRef Result = ZddBase;
+  for (size_t I = Sorted.size(); I-- > 0;)
+    Result = makeNode(Sorted[I], ZddEmpty, Result);
+  return Zdd(this, Result);
+}
+
+Zdd ZddManager::fromSets(const std::vector<std::vector<unsigned>> &Sets) {
+  Zdd Result = empty();
+  for (const auto &S : Sets)
+    Result = zddUnion(Result, combination(S));
+  return Result;
+}
+
+double ZddManager::count(const Zdd &P) {
+  std::map<ZddRef, double> Memo;
+  std::function<double(ZddRef)> Rec = [&](ZddRef N) -> double {
+    if (N == ZddEmpty)
+      return 0.0;
+    if (N == ZddBase)
+      return 1.0;
+    auto It = Memo.find(N);
+    if (It != Memo.end())
+      return It->second;
+    double Value = Rec(Nodes[N].Low) + Rec(Nodes[N].High);
+    Memo.emplace(N, Value);
+    return Value;
+  };
+  return Rec(P.ref());
+}
+
+size_t ZddManager::nodeCount(const Zdd &P) {
+  std::vector<ZddRef> Stack = {P.ref()};
+  std::set<ZddRef> Seen;
+  size_t Count = 0;
+  while (!Stack.empty()) {
+    ZddRef N = Stack.back();
+    Stack.pop_back();
+    if (isTerminal(N) || !Seen.insert(N).second)
+      continue;
+    ++Count;
+    Stack.push_back(Nodes[N].Low);
+    Stack.push_back(Nodes[N].High);
+  }
+  return Count;
+}
+
+void ZddManager::enumerate(
+    const Zdd &P,
+    const std::function<bool(const std::vector<unsigned> &)> &Fn) {
+  std::vector<unsigned> Current;
+  std::function<bool(ZddRef)> Rec = [&](ZddRef N) -> bool {
+    if (N == ZddEmpty)
+      return true;
+    if (N == ZddBase)
+      return Fn(Current);
+    if (!Rec(Nodes[N].Low))
+      return false;
+    Current.push_back(Nodes[N].Var);
+    bool Continue = Rec(Nodes[N].High);
+    Current.pop_back();
+    return Continue;
+  };
+  Rec(P.ref());
+}
+
+bool ZddManager::contains(const Zdd &P, const std::vector<unsigned> &Vars) {
+  std::vector<unsigned> Sorted(Vars);
+  std::sort(Sorted.begin(), Sorted.end());
+  ZddRef N = P.ref();
+  size_t I = 0;
+  while (!isTerminal(N)) {
+    uint32_t Var = Nodes[N].Var;
+    if (I < Sorted.size() && Sorted[I] == Var) {
+      N = Nodes[N].High;
+      ++I;
+    } else if (I < Sorted.size() && Sorted[I] < Var) {
+      return false; // The needed variable was zero-suppressed away.
+    } else {
+      N = Nodes[N].Low;
+    }
+  }
+  return N == ZddBase && I == Sorted.size();
+}

@@ -1,0 +1,36 @@
+//===- CppEmit.h - C++ source emission for compiled Jedd --------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The back half of jeddc's code generation: where the paper emits Java
+/// calling the Jedd runtime over JNI, we emit C++ calling rel::Relation.
+/// The emitted file is self-contained (declares the universe, defines
+/// every function) and carries the solved physical domain assignment in
+/// explicit bindings, so reading it shows exactly which replace
+/// operations survived the minimization of Section 3.3.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_JEDD_CPPEMIT_H
+#define JEDDPP_JEDD_CPPEMIT_H
+
+#include "jedd/Driver.h"
+
+#include <string>
+
+namespace jedd {
+namespace lang {
+
+/// Renders \p Compiled as a C++ translation unit using the relational
+/// runtime. \p UnitName becomes the emitted namespace.
+std::string emitCpp(const CompiledProgram &Compiled,
+                    const std::string &UnitName = "jedd_generated");
+
+} // namespace lang
+} // namespace jedd
+
+#endif // JEDDPP_JEDD_CPPEMIT_H

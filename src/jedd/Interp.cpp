@@ -1,0 +1,258 @@
+//===- Interp.cpp - Executes compiled Jedd programs ------------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "jedd/Interp.h"
+#include "util/Fatal.h"
+#include "util/StringUtils.h"
+
+#include <algorithm>
+
+using namespace jedd;
+using namespace jedd::lang;
+using rel::AttrBinding;
+using rel::Relation;
+
+Interpreter::Interpreter(const CompiledProgram &Compiled, rel::Universe &U)
+    : Compiled(Compiled), U(U) {
+  JEDD_CHECK(U.isFinalized(),
+             "the universe must be built with buildUniverse() first");
+  // Materialize every variable as the empty relation over its solved
+  // bindings; globals keep state across calls.
+  Values.resize(prog().Vars.size());
+  for (size_t I = 0; I != prog().Vars.size(); ++I)
+    Values[I] =
+        U.empty(toBindings(assigner().bindingsOfVar(prog().Vars[I])));
+}
+
+std::vector<AttrBinding> Interpreter::toBindings(
+    const std::vector<std::pair<uint32_t, uint32_t>> &Pairs) const {
+  std::vector<AttrBinding> Result;
+  Result.reserve(Pairs.size());
+  for (auto &[Attr, Phys] : Pairs)
+    Result.push_back({Attr, Phys});
+  return Result;
+}
+
+Relation Interpreter::alignTo(const Relation &Value,
+                              const std::vector<AttrBinding> &Target) {
+  // Count the replaces that actually move data — the operations the
+  // assignment algorithm works to eliminate.
+  for (const AttrBinding &B : Target)
+    if (Value.physOf(B.Attr) != B.Phys) {
+      ++ReplacesExecuted;
+      return Value.withBindings(Target, "replace");
+    }
+  return Value;
+}
+
+rel::Relation Interpreter::emptyOfVar(const std::string &Name,
+                                      int Function) const {
+  int Var = Compiled.findVar(Name, Function);
+  JEDD_CHECK(Var >= 0, "unknown relation '" + Name + "'");
+  return const_cast<rel::Universe &>(U).empty(
+      toBindings(assigner().bindingsOfVar(prog().Vars[Var])));
+}
+
+rel::Relation Interpreter::getGlobal(const std::string &Name) const {
+  int Var = Compiled.findVar(Name, -1);
+  JEDD_CHECK(Var >= 0 && prog().Vars[Var].Function == -1,
+             "unknown global relation '" + Name + "'");
+  return Values[Var];
+}
+
+void Interpreter::setGlobal(const std::string &Name,
+                            const rel::Relation &Value) {
+  int Var = Compiled.findVar(Name, -1);
+  JEDD_CHECK(Var >= 0 && prog().Vars[Var].Function == -1,
+             "unknown global relation '" + Name + "'");
+  Values[Var] = alignTo(
+      Value, toBindings(assigner().bindingsOfVar(prog().Vars[Var])));
+}
+
+Relation Interpreter::evalOperand(const Expr &E,
+                                  const std::vector<AttrBinding> &Bindings) {
+  if (E.Kind == ExprKind::Const0)
+    return U.empty(Bindings);
+  if (E.Kind == ExprKind::Const1)
+    return U.full(Bindings);
+  return alignTo(evalExpr(E), Bindings);
+}
+
+Relation Interpreter::evalExpr(const Expr &E) {
+  const DomainAssigner &A = assigner();
+  std::string Site = strFormat("%u,%u", E.Loc.Line, E.Loc.Col);
+
+  switch (E.Kind) {
+  case ExprKind::VarRef:
+    return Values[E.VarIndex];
+
+  case ExprKind::Const0:
+  case ExprKind::Const1:
+    fatalError("0B/1B outside an inferring context");
+
+  case ExprKind::Literal: {
+    // Build the schema in piece order so values line up.
+    std::vector<AttrBinding> Schema;
+    for (const AttrPhys &AP : E.LitAttrs) {
+      uint32_t Attr = static_cast<uint32_t>(
+          prog().Symbols.findAttribute(AP.Attr));
+      Schema.push_back({Attr, A.physOf(E.NodeId, Attr)});
+    }
+    return U.tuple(std::move(Schema), E.Values);
+  }
+
+  case ExprKind::Project: {
+    Relation V = evalOperand(*E.Sub, toBindings(A.operandWrapperBindings(E, 0)));
+    uint32_t From =
+        static_cast<uint32_t>(prog().Symbols.findAttribute(E.From));
+    return V.project({From}, Site.c_str());
+  }
+
+  case ExprKind::Rename: {
+    Relation V = evalOperand(*E.Sub, toBindings(A.operandWrapperBindings(E, 0)));
+    uint32_t From =
+        static_cast<uint32_t>(prog().Symbols.findAttribute(E.From));
+    uint32_t To = static_cast<uint32_t>(prog().Symbols.findAttribute(E.To));
+    return V.rename(From, To, Site.c_str());
+  }
+
+  case ExprKind::Copy: {
+    Relation V = evalOperand(*E.Sub, toBindings(A.operandWrapperBindings(E, 0)));
+    uint32_t From =
+        static_cast<uint32_t>(prog().Symbols.findAttribute(E.From));
+    uint32_t To = static_cast<uint32_t>(prog().Symbols.findAttribute(E.To));
+    uint32_t CopyTo =
+        static_cast<uint32_t>(prog().Symbols.findAttribute(E.CopyTo));
+    Relation Renamed = To == From ? V : V.rename(From, To, Site.c_str());
+    return Renamed.copy(To, CopyTo, A.physOf(E.NodeId, CopyTo),
+                        Site.c_str());
+  }
+
+  case ExprKind::Union:
+  case ExprKind::Intersect:
+  case ExprKind::Difference: {
+    std::vector<AttrBinding> Bindings = toBindings(A.bindingsOf(E));
+    Relation L = evalOperand(*E.Left, Bindings);
+    Relation R = evalOperand(*E.Right, Bindings);
+    if (E.Kind == ExprKind::Union)
+      return L | R;
+    if (E.Kind == ExprKind::Intersect)
+      return L & R;
+    return L - R;
+  }
+
+  case ExprKind::Join:
+  case ExprKind::Compose: {
+    Relation L =
+        evalOperand(*E.Left, toBindings(A.operandWrapperBindings(E, 0)));
+    Relation R =
+        evalOperand(*E.Right, toBindings(A.operandWrapperBindings(E, 1)));
+    std::vector<uint32_t> LAttrs, RAttrs;
+    for (const std::string &Name : E.LeftAttrs)
+      LAttrs.push_back(
+          static_cast<uint32_t>(prog().Symbols.findAttribute(Name)));
+    for (const std::string &Name : E.RightAttrs)
+      RAttrs.push_back(
+          static_cast<uint32_t>(prog().Symbols.findAttribute(Name)));
+    if (E.Kind == ExprKind::Join)
+      return L.join(R, LAttrs, RAttrs, Site.c_str());
+    return L.compose(R, LAttrs, RAttrs, Site.c_str());
+  }
+  }
+  fatalError("unhandled expression kind in the interpreter");
+}
+
+bool Interpreter::evalCondition(const Stmt &S) {
+  const Expr *L = S.CondLeft.get(), *R = S.CondRight.get();
+  // Normalize: put a possible constant on the right.
+  if (L->Kind == ExprKind::Const0 || L->Kind == ExprKind::Const1)
+    std::swap(L, R);
+
+  bool Equal;
+  if (R->Kind == ExprKind::Const0) {
+    Equal = evalExpr(*L).isEmpty();
+  } else if (R->Kind == ExprKind::Const1) {
+    Relation V = evalExpr(*L);
+    Equal = V == U.full(V.schema());
+  } else {
+    Equal = evalExpr(*L) == evalExpr(*R);
+  }
+  return S.CondIsEq ? Equal : !Equal;
+}
+
+void Interpreter::execStmt(const Stmt &S, int Function) {
+  switch (S.Kind) {
+  case StmtKind::Decl: {
+    int Var = Compiled.findVar(S.Name, Function);
+    JEDD_CHECK(Var >= 0, "unresolved local '" + S.Name + "'");
+    std::vector<AttrBinding> Bindings =
+        toBindings(assigner().bindingsOfVar(prog().Vars[Var]));
+    Values[Var] = S.Init ? evalOperand(*S.Init, Bindings)
+                         : U.empty(Bindings);
+    return;
+  }
+  case StmtKind::Assign: {
+    int Var = Compiled.findVar(S.Name, Function);
+    JEDD_CHECK(Var >= 0, "unresolved relation '" + S.Name + "'");
+    std::vector<AttrBinding> Bindings =
+        toBindings(assigner().bindingsOfVar(prog().Vars[Var]));
+    Relation Rhs = evalOperand(*S.Rhs, Bindings);
+    switch (S.Op) {
+    case AssignOpKind::Set:
+      Values[Var] = std::move(Rhs);
+      break;
+    case AssignOpKind::Union:
+      Values[Var] |= Rhs;
+      break;
+    case AssignOpKind::Intersect:
+      Values[Var] &= Rhs;
+      break;
+    case AssignOpKind::Difference:
+      Values[Var] -= Rhs;
+      break;
+    }
+    return;
+  }
+  case StmtKind::DoWhile:
+    do {
+      execBlock(S.Body, Function);
+    } while (evalCondition(S));
+    return;
+  case StmtKind::While:
+    while (evalCondition(S))
+      execBlock(S.Body, Function);
+    return;
+  case StmtKind::If:
+    if (evalCondition(S))
+      execBlock(S.Body, Function);
+    else
+      execBlock(S.ElseBody, Function);
+    return;
+  }
+}
+
+void Interpreter::execBlock(const Block &B, int Function) {
+  for (const StmtPtr &S : B.Stmts)
+    execStmt(*S, Function);
+}
+
+void Interpreter::call(const std::string &Name,
+                       std::vector<rel::Relation> Args) {
+  int Function = Compiled.findFunction(Name);
+  JEDD_CHECK(Function >= 0, "unknown function '" + Name + "'");
+  const FunctionDecl &F = prog().Ast.Functions[Function];
+  JEDD_CHECK(Args.size() == F.Params.size(),
+             strFormat("function '%s' expects %zu arguments, got %zu",
+                       Name.c_str(), F.Params.size(), Args.size()));
+  for (size_t I = 0; I != Args.size(); ++I) {
+    int Var = Compiled.findVar(F.Params[I].Name, Function);
+    JEDD_CHECK(Var >= 0, "unresolved parameter");
+    Values[Var] = alignTo(
+        Args[I], toBindings(assigner().bindingsOfVar(prog().Vars[Var])));
+  }
+  execBlock(F.Body, Function);
+}

@@ -1,0 +1,292 @@
+//===- Lexer.cpp - Tokenizer for the Jedd language ------------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "jedd/Lexer.h"
+#include "util/StringUtils.h"
+
+#include <cctype>
+
+using namespace jedd;
+using namespace jedd::lang;
+
+std::string jedd::lang::tokenKindName(TokenKind Kind) {
+  switch (Kind) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::ZeroB:
+    return "'0B'";
+  case TokenKind::OneB:
+    return "'1B'";
+  case TokenKind::KwDomain:
+    return "'domain'";
+  case TokenKind::KwAttribute:
+    return "'attribute'";
+  case TokenKind::KwPhysdom:
+    return "'physdom'";
+  case TokenKind::KwRelation:
+    return "'relation'";
+  case TokenKind::KwFunction:
+    return "'function'";
+  case TokenKind::KwNew:
+    return "'new'";
+  case TokenKind::KwDo:
+    return "'do'";
+  case TokenKind::KwWhile:
+    return "'while'";
+  case TokenKind::KwIf:
+    return "'if'";
+  case TokenKind::KwElse:
+    return "'else'";
+  case TokenKind::Less:
+    return "'<'";
+  case TokenKind::Greater:
+    return "'>'";
+  case TokenKind::LBrace:
+    return "'{'";
+  case TokenKind::RBrace:
+    return "'}'";
+  case TokenKind::LParen:
+    return "'('";
+  case TokenKind::RParen:
+    return "')'";
+  case TokenKind::Comma:
+    return "','";
+  case TokenKind::Semicolon:
+    return "';'";
+  case TokenKind::Colon:
+    return "':'";
+  case TokenKind::Arrow:
+    return "'=>'";
+  case TokenKind::JoinOp:
+    return "'><'";
+  case TokenKind::ComposeOp:
+    return "'<>'";
+  case TokenKind::Assign:
+    return "'='";
+  case TokenKind::OrAssign:
+    return "'|='";
+  case TokenKind::AndAssign:
+    return "'&='";
+  case TokenKind::SubAssign:
+    return "'-='";
+  case TokenKind::Or:
+    return "'|'";
+  case TokenKind::And:
+    return "'&'";
+  case TokenKind::Minus:
+    return "'-'";
+  case TokenKind::EqEq:
+    return "'=='";
+  case TokenKind::NotEq:
+    return "'!='";
+  case TokenKind::EndOfFile:
+    return "end of input";
+  case TokenKind::Error:
+    return "invalid token";
+  }
+  return "unknown token";
+}
+
+static TokenKind keywordKind(const std::string &Text) {
+  if (Text == "domain")
+    return TokenKind::KwDomain;
+  if (Text == "attribute")
+    return TokenKind::KwAttribute;
+  if (Text == "physdom")
+    return TokenKind::KwPhysdom;
+  if (Text == "relation")
+    return TokenKind::KwRelation;
+  if (Text == "function")
+    return TokenKind::KwFunction;
+  if (Text == "new")
+    return TokenKind::KwNew;
+  if (Text == "do")
+    return TokenKind::KwDo;
+  if (Text == "while")
+    return TokenKind::KwWhile;
+  if (Text == "if")
+    return TokenKind::KwIf;
+  if (Text == "else")
+    return TokenKind::KwElse;
+  return TokenKind::Identifier;
+}
+
+std::vector<Token> jedd::lang::lex(const std::string &Source,
+                                   DiagnosticEngine &Diags) {
+  std::vector<Token> Tokens;
+  size_t I = 0, E = Source.size();
+  uint32_t Line = 1, Col = 1;
+
+  auto Advance = [&](size_t N = 1) {
+    for (size_t K = 0; K != N && I < E; ++K) {
+      if (Source[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++I;
+    }
+  };
+  auto Peek = [&](size_t Ahead = 0) -> char {
+    return I + Ahead < E ? Source[I + Ahead] : '\0';
+  };
+  auto Emit = [&](TokenKind Kind, std::string Text, SourceLoc Loc) {
+    Token T;
+    T.Kind = Kind;
+    T.Text = std::move(Text);
+    T.Loc = Loc;
+    Tokens.push_back(std::move(T));
+  };
+
+  while (I < E) {
+    char C = Peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Peek(1) == '/') {
+      while (I < E && Peek() != '\n')
+        Advance();
+      continue;
+    }
+    if (C == '/' && Peek(1) == '*') {
+      SourceLoc Start(Line, Col);
+      Advance(2);
+      while (I < E && !(Peek() == '*' && Peek(1) == '/'))
+        Advance();
+      if (I >= E) {
+        Diags.error(Start, "unterminated block comment");
+        break;
+      }
+      Advance(2);
+      continue;
+    }
+
+    SourceLoc Loc(Line, Col);
+
+    // Numbers, including the 0B / 1B relation constants.
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::string Text;
+      while (I < E && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Text += Peek();
+        Advance();
+      }
+      if (Peek() == 'B' && (Text == "0" || Text == "1")) {
+        Advance();
+        Emit(Text == "0" ? TokenKind::ZeroB : TokenKind::OneB, Text + "B",
+             Loc);
+        continue;
+      }
+      Token T;
+      T.Kind = TokenKind::Integer;
+      T.Text = Text;
+      T.IntValue = std::stoull(Text);
+      T.Loc = Loc;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    // Identifiers and keywords. $ allowed as in Java identifiers.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' || C == '$') {
+      std::string Text;
+      while (I < E && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                       Peek() == '_' || Peek() == '$')) {
+        Text += Peek();
+        Advance();
+      }
+      TokenKind Kind = keywordKind(Text); // Before the move below.
+      Emit(Kind, std::move(Text), Loc);
+      continue;
+    }
+
+    // Operators, longest match first.
+    auto Two = [&](char A, char B) { return C == A && Peek(1) == B; };
+    if (Two('=', '>')) {
+      Advance(2);
+      Emit(TokenKind::Arrow, "=>", Loc);
+    } else if (Two('=', '=')) {
+      Advance(2);
+      Emit(TokenKind::EqEq, "==", Loc);
+    } else if (Two('!', '=')) {
+      Advance(2);
+      Emit(TokenKind::NotEq, "!=", Loc);
+    } else if (Two('>', '<')) {
+      Advance(2);
+      Emit(TokenKind::JoinOp, "><", Loc);
+    } else if (Two('<', '>')) {
+      Advance(2);
+      Emit(TokenKind::ComposeOp, "<>", Loc);
+    } else if (Two('|', '=')) {
+      Advance(2);
+      Emit(TokenKind::OrAssign, "|=", Loc);
+    } else if (Two('&', '=')) {
+      Advance(2);
+      Emit(TokenKind::AndAssign, "&=", Loc);
+    } else if (Two('-', '=')) {
+      Advance(2);
+      Emit(TokenKind::SubAssign, "-=", Loc);
+    } else {
+      switch (C) {
+      case '<':
+        Emit(TokenKind::Less, "<", Loc);
+        break;
+      case '>':
+        Emit(TokenKind::Greater, ">", Loc);
+        break;
+      case '{':
+        Emit(TokenKind::LBrace, "{", Loc);
+        break;
+      case '}':
+        Emit(TokenKind::RBrace, "}", Loc);
+        break;
+      case '(':
+        Emit(TokenKind::LParen, "(", Loc);
+        break;
+      case ')':
+        Emit(TokenKind::RParen, ")", Loc);
+        break;
+      case ',':
+        Emit(TokenKind::Comma, ",", Loc);
+        break;
+      case ';':
+        Emit(TokenKind::Semicolon, ";", Loc);
+        break;
+      case ':':
+        Emit(TokenKind::Colon, ":", Loc);
+        break;
+      case '=':
+        Emit(TokenKind::Assign, "=", Loc);
+        break;
+      case '|':
+        Emit(TokenKind::Or, "|", Loc);
+        break;
+      case '&':
+        Emit(TokenKind::And, "&", Loc);
+        break;
+      case '-':
+        Emit(TokenKind::Minus, "-", Loc);
+        break;
+      default:
+        Diags.error(Loc, strFormat("unexpected character '%c'", C));
+        Emit(TokenKind::Error, std::string(1, C), Loc);
+        break;
+      }
+      Advance();
+    }
+  }
+
+  Token Eof;
+  Eof.Kind = TokenKind::EndOfFile;
+  Eof.Loc = SourceLoc(Line, Col);
+  Tokens.push_back(std::move(Eof));
+  return Tokens;
+}

@@ -1,0 +1,94 @@
+//===- Lexer.h - Tokenizer for the Jedd language ----------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokens and lexer for the standalone Jedd language. The paper extends
+/// the full Java grammar (Figure 5); this reproduction hosts the same
+/// relational expression grammar — the `>< <> => 0B 1B new{...}` syntax
+/// and the cast-like attribute operations — in a small statement language
+/// instead of Java, which keeps the translator self-contained while
+/// exercising every production Figure 5 adds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_JEDD_LEXER_H
+#define JEDDPP_JEDD_LEXER_H
+
+#include "util/Diagnostic.h"
+#include "util/SourceLocation.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jedd {
+namespace lang {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Identifier,
+  Integer,
+  ZeroB, ///< 0B, the empty relation constant.
+  OneB,  ///< 1B, the full relation constant.
+
+  // Keywords.
+  KwDomain,
+  KwAttribute,
+  KwPhysdom,
+  KwRelation,
+  KwFunction,
+  KwNew,
+  KwDo,
+  KwWhile,
+  KwIf,
+  KwElse,
+
+  // Punctuation and operators.
+  Less,      ///< <  (also opens relation types)
+  Greater,   ///< >  (also closes relation types)
+  LBrace,    ///< {
+  RBrace,    ///< }
+  LParen,    ///< (
+  RParen,    ///< )
+  Comma,     ///< ,
+  Semicolon, ///< ;
+  Colon,     ///< :
+  Arrow,     ///< =>
+  JoinOp,    ///< ><
+  ComposeOp, ///< <>
+  Assign,    ///< =
+  OrAssign,  ///< |=
+  AndAssign, ///< &=
+  SubAssign, ///< -=
+  Or,        ///< |
+  And,       ///< &
+  Minus,     ///< -
+  EqEq,      ///< ==
+  NotEq,     ///< !=
+
+  EndOfFile,
+  Error,
+};
+
+struct Token {
+  TokenKind Kind = TokenKind::Error;
+  std::string Text;
+  uint64_t IntValue = 0;
+  SourceLoc Loc;
+};
+
+/// Returns a printable name for diagnostics ("'><'", "identifier", ...).
+std::string tokenKindName(TokenKind Kind);
+
+/// Tokenizes \p Source. Lexical errors are reported to \p Diags and
+/// produce Error tokens; the stream always ends with EndOfFile.
+std::vector<Token> lex(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace lang
+} // namespace jedd
+
+#endif // JEDDPP_JEDD_LEXER_H

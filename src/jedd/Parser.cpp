@@ -1,0 +1,474 @@
+//===- Parser.cpp - Recursive-descent parser for Jedd ---------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written recursive-descent parser for the grammar of Figure 5,
+/// hosted in a small statement language. The only lookahead subtlety the
+/// paper's LALR transformations dealt with survives here as: after '(' we
+/// peek for `identifier =>` to distinguish an attribute-operation prefix
+/// from a parenthesized expression.
+///
+//===----------------------------------------------------------------------===//
+
+#include "jedd/Parser.h"
+#include "util/StringUtils.h"
+
+using namespace jedd;
+using namespace jedd::lang;
+
+namespace {
+
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticEngine &Diags)
+      : Tokens(std::move(Tokens)), Diags(Diags) {}
+
+  Program parseProgram();
+
+private:
+  std::vector<Token> Tokens;
+  DiagnosticEngine &Diags;
+  size_t Pos = 0;
+  bool Panicking = false;
+
+  const Token &peek(size_t Ahead = 0) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(TokenKind Kind) const { return peek().Kind == Kind; }
+  Token advance() {
+    Token T = peek();
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool accept(TokenKind Kind) {
+    if (!at(Kind))
+      return false;
+    advance();
+    return true;
+  }
+  Token expect(TokenKind Kind, const char *Context) {
+    if (at(Kind)) {
+      Panicking = false;
+      return advance();
+    }
+    if (!Panicking)
+      Diags.error(peek().Loc,
+                  strFormat("expected %s %s, found %s",
+                            tokenKindName(Kind).c_str(), Context,
+                            tokenKindName(peek().Kind).c_str()));
+    Panicking = true;
+    return peek();
+  }
+  /// Skips to the next ';' or '}' after an error.
+  void synchronize() {
+    while (!at(TokenKind::EndOfFile) && !at(TokenKind::Semicolon) &&
+           !at(TokenKind::RBrace))
+      advance();
+    accept(TokenKind::Semicolon);
+    Panicking = false;
+  }
+
+  // Grammar productions.
+  RelTypeAst parseRelType();
+  AttrPhys parseAttrPhys();
+  Block parseBlock();
+  StmtPtr parseStmt();
+  ExprPtr parseExpr();
+  ExprPtr parseMergeExpr();
+  ExprPtr parseUnaryExpr();
+  ExprPtr parsePrimaryExpr();
+  std::vector<std::string> parseAttrList();
+  void parseCondition(Stmt &S);
+
+  void parseDomainDecl(Program &P);
+  void parseAttributeDecl(Program &P);
+  void parsePhysdomDecl(Program &P);
+  void parseGlobalDecl(Program &P);
+  void parseFunctionDecl(Program &P);
+};
+
+RelTypeAst Parser::parseRelType() {
+  RelTypeAst T;
+  T.Loc = peek().Loc;
+  expect(TokenKind::Less, "to open a relation type");
+  T.Attrs.push_back(parseAttrPhys());
+  while (accept(TokenKind::Comma))
+    T.Attrs.push_back(parseAttrPhys());
+  expect(TokenKind::Greater, "to close a relation type");
+  return T;
+}
+
+AttrPhys Parser::parseAttrPhys() {
+  AttrPhys A;
+  A.Loc = peek().Loc;
+  A.Attr = expect(TokenKind::Identifier, "as an attribute name").Text;
+  if (accept(TokenKind::Colon))
+    A.Phys = expect(TokenKind::Identifier, "as a physical domain").Text;
+  return A;
+}
+
+std::vector<std::string> Parser::parseAttrList() {
+  std::vector<std::string> Attrs;
+  expect(TokenKind::LBrace, "to open the compared attribute list");
+  if (!at(TokenKind::RBrace)) {
+    Attrs.push_back(
+        expect(TokenKind::Identifier, "as a compared attribute").Text);
+    while (accept(TokenKind::Comma))
+      Attrs.push_back(
+          expect(TokenKind::Identifier, "as a compared attribute").Text);
+  }
+  expect(TokenKind::RBrace, "to close the compared attribute list");
+  return Attrs;
+}
+
+ExprPtr Parser::parseExpr() {
+  ExprPtr Left = parseMergeExpr();
+  while (at(TokenKind::Or) || at(TokenKind::And) || at(TokenKind::Minus)) {
+    TokenKind OpKind = advance().Kind;
+    ExprPtr Right = parseMergeExpr();
+    auto Node = std::make_unique<Expr>();
+    Node->Kind = OpKind == TokenKind::Or    ? ExprKind::Union
+                 : OpKind == TokenKind::And ? ExprKind::Intersect
+                                            : ExprKind::Difference;
+    Node->Loc = Left ? Left->Loc : peek().Loc;
+    Node->Left = std::move(Left);
+    Node->Right = std::move(Right);
+    Left = std::move(Node);
+  }
+  return Left;
+}
+
+ExprPtr Parser::parseMergeExpr() {
+  ExprPtr Left = parseUnaryExpr();
+  // x{a, b} >< y{c, d} — the attribute list before the operator marks a
+  // join or composition.
+  while (at(TokenKind::LBrace)) {
+    auto Node = std::make_unique<Expr>();
+    Node->Loc = Left ? Left->Loc : peek().Loc;
+    Node->LeftAttrs = parseAttrList();
+    if (at(TokenKind::JoinOp))
+      Node->Kind = ExprKind::Join;
+    else if (at(TokenKind::ComposeOp))
+      Node->Kind = ExprKind::Compose;
+    else {
+      Diags.error(peek().Loc, strFormat("expected '><' or '<>' after the "
+                                        "attribute list, found %s",
+                                        tokenKindName(peek().Kind).c_str()));
+      return Left;
+    }
+    advance();
+    Node->Right = parseUnaryExpr();
+    Node->RightAttrs = parseAttrList();
+    Node->Left = std::move(Left);
+    Left = std::move(Node);
+  }
+  return Left;
+}
+
+ExprPtr Parser::parseUnaryExpr() {
+  // Attribute-operation prefix: '(' identifier '=>' ... ')' expr.
+  if (at(TokenKind::LParen) && peek(1).Kind == TokenKind::Identifier &&
+      peek(2).Kind == TokenKind::Arrow) {
+    SourceLoc Loc = peek().Loc;
+    advance(); // (
+    // Parse the replacement list, then desugar right-to-left so the
+    // first replacement is outermost.
+    struct Replacement {
+      std::string From, To, CopyTo;
+      SourceLoc Loc;
+    };
+    std::vector<Replacement> Repls;
+    while (true) {
+      Replacement R;
+      R.Loc = peek().Loc;
+      R.From = expect(TokenKind::Identifier, "as a replaced attribute").Text;
+      expect(TokenKind::Arrow, "in an attribute operation");
+      if (at(TokenKind::Identifier)) {
+        R.To = advance().Text;
+        if (at(TokenKind::Identifier))
+          R.CopyTo = advance().Text;
+      }
+      Repls.push_back(std::move(R));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::RParen, "to close the attribute operation");
+    ExprPtr Inner = parseUnaryExpr();
+    for (size_t I = Repls.size(); I-- > 0;) {
+      auto Node = std::make_unique<Expr>();
+      Node->Loc = Loc;
+      Node->FromLoc = Repls[I].Loc;
+      Node->From = Repls[I].From;
+      Node->To = Repls[I].To;
+      Node->CopyTo = Repls[I].CopyTo;
+      Node->Sub = std::move(Inner);
+      Node->Kind = Repls[I].To.empty()        ? ExprKind::Project
+                   : Repls[I].CopyTo.empty()  ? ExprKind::Rename
+                                              : ExprKind::Copy;
+      Inner = std::move(Node);
+    }
+    return Inner;
+  }
+  return parsePrimaryExpr();
+}
+
+ExprPtr Parser::parsePrimaryExpr() {
+  SourceLoc Loc = peek().Loc;
+  auto Node = std::make_unique<Expr>();
+  Node->Loc = Loc;
+
+  if (accept(TokenKind::LParen)) {
+    ExprPtr Inner = parseExpr();
+    expect(TokenKind::RParen, "to close the parenthesized expression");
+    return Inner;
+  }
+  if (at(TokenKind::Identifier)) {
+    Node->Kind = ExprKind::VarRef;
+    Node->Name = advance().Text;
+    return Node;
+  }
+  if (accept(TokenKind::ZeroB)) {
+    Node->Kind = ExprKind::Const0;
+    return Node;
+  }
+  if (accept(TokenKind::OneB)) {
+    Node->Kind = ExprKind::Const1;
+    return Node;
+  }
+  if (accept(TokenKind::KwNew)) {
+    Node->Kind = ExprKind::Literal;
+    expect(TokenKind::LBrace, "to open the tuple literal");
+    while (true) {
+      Token Value = expect(TokenKind::Integer, "as a tuple value");
+      expect(TokenKind::Arrow, "in a tuple literal piece");
+      AttrPhys AP = parseAttrPhys();
+      Node->Values.push_back(Value.IntValue);
+      Node->LitAttrs.push_back(std::move(AP));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+    expect(TokenKind::RBrace, "to close the tuple literal");
+    return Node;
+  }
+
+  if (!Panicking)
+    Diags.error(Loc, strFormat("expected a relational expression, found %s",
+                               tokenKindName(peek().Kind).c_str()));
+  Panicking = true;
+  Node->Kind = ExprKind::Const0; // Error recovery placeholder.
+  return Node;
+}
+
+void Parser::parseCondition(Stmt &S) {
+  expect(TokenKind::LParen, "to open the condition");
+  S.CondLeft = parseExpr();
+  if (at(TokenKind::EqEq) || at(TokenKind::NotEq))
+    S.CondIsEq = advance().Kind == TokenKind::EqEq;
+  else
+    Diags.error(peek().Loc,
+                strFormat("expected '==' or '!=' in a condition, found %s",
+                          tokenKindName(peek().Kind).c_str()));
+  S.CondRight = parseExpr();
+  expect(TokenKind::RParen, "to close the condition");
+}
+
+StmtPtr Parser::parseStmt() {
+  auto S = std::make_unique<Stmt>();
+  S->Loc = peek().Loc;
+
+  // Local declaration: `<type> name (= expr)? ;`.
+  if (at(TokenKind::Less)) {
+    S->Kind = StmtKind::Decl;
+    S->DeclType = parseRelType();
+    S->Name = expect(TokenKind::Identifier, "as a relation name").Text;
+    if (accept(TokenKind::Assign))
+      S->Init = parseExpr();
+    expect(TokenKind::Semicolon, "after the declaration");
+    return S;
+  }
+
+  if (accept(TokenKind::KwDo)) {
+    S->Kind = StmtKind::DoWhile;
+    S->Body = parseBlock();
+    expect(TokenKind::KwWhile, "after the do-while body");
+    parseCondition(*S);
+    expect(TokenKind::Semicolon, "after the do-while condition");
+    return S;
+  }
+  if (accept(TokenKind::KwWhile)) {
+    S->Kind = StmtKind::While;
+    parseCondition(*S);
+    S->Body = parseBlock();
+    return S;
+  }
+  if (accept(TokenKind::KwIf)) {
+    S->Kind = StmtKind::If;
+    parseCondition(*S);
+    S->Body = parseBlock();
+    if (accept(TokenKind::KwElse))
+      S->ElseBody = parseBlock();
+    return S;
+  }
+
+  // Assignment: `name op expr ;`.
+  if (at(TokenKind::Identifier)) {
+    S->Kind = StmtKind::Assign;
+    S->Name = advance().Text;
+    if (accept(TokenKind::Assign))
+      S->Op = AssignOpKind::Set;
+    else if (accept(TokenKind::OrAssign))
+      S->Op = AssignOpKind::Union;
+    else if (accept(TokenKind::AndAssign))
+      S->Op = AssignOpKind::Intersect;
+    else if (accept(TokenKind::SubAssign))
+      S->Op = AssignOpKind::Difference;
+    else {
+      Diags.error(peek().Loc,
+                  strFormat("expected an assignment operator, found %s",
+                            tokenKindName(peek().Kind).c_str()));
+      synchronize();
+      return S;
+    }
+    S->Rhs = parseExpr();
+    expect(TokenKind::Semicolon, "after the assignment");
+    return S;
+  }
+
+  Diags.error(peek().Loc, strFormat("expected a statement, found %s",
+                                    tokenKindName(peek().Kind).c_str()));
+  synchronize();
+  S->Kind = StmtKind::Assign;
+  return S;
+}
+
+Block Parser::parseBlock() {
+  Block B;
+  expect(TokenKind::LBrace, "to open a block");
+  while (!at(TokenKind::RBrace) && !at(TokenKind::EndOfFile)) {
+    size_t Before = Pos;
+    B.Stmts.push_back(parseStmt());
+    if (Pos == Before) { // No progress; bail out of the block.
+      synchronize();
+      if (Pos == Before)
+        break;
+    }
+  }
+  expect(TokenKind::RBrace, "to close a block");
+  return B;
+}
+
+void Parser::parseDomainDecl(Program &P) {
+  DomainDecl D;
+  D.Loc = peek().Loc;
+  advance(); // 'domain'
+  D.Name = expect(TokenKind::Identifier, "as a domain name").Text;
+  D.Size = expect(TokenKind::Integer, "as the domain size").IntValue;
+  expect(TokenKind::Semicolon, "after the domain declaration");
+  P.Domains.push_back(std::move(D));
+}
+
+void Parser::parseAttributeDecl(Program &P) {
+  AttributeDecl A;
+  A.Loc = peek().Loc;
+  advance(); // 'attribute'
+  A.Name = expect(TokenKind::Identifier, "as an attribute name").Text;
+  expect(TokenKind::Colon, "between attribute and domain");
+  A.Domain = expect(TokenKind::Identifier, "as the attribute's domain").Text;
+  expect(TokenKind::Semicolon, "after the attribute declaration");
+  P.Attributes.push_back(std::move(A));
+}
+
+void Parser::parsePhysdomDecl(Program &P) {
+  advance(); // 'physdom'
+  while (true) {
+    PhysDomDecl D;
+    D.Loc = peek().Loc;
+    D.Name = expect(TokenKind::Identifier, "as a physical domain name").Text;
+    D.Bits = 0;
+    if (at(TokenKind::Integer))
+      D.Bits = static_cast<unsigned>(advance().IntValue);
+    P.PhysDoms.push_back(std::move(D));
+    if (!accept(TokenKind::Comma))
+      break;
+  }
+  expect(TokenKind::Semicolon, "after the physical domain declaration");
+}
+
+void Parser::parseGlobalDecl(Program &P) {
+  GlobalDecl G;
+  G.Loc = peek().Loc;
+  advance(); // 'relation'
+  G.Type = parseRelType();
+  G.Name = expect(TokenKind::Identifier, "as the relation name").Text;
+  expect(TokenKind::Semicolon, "after the relation declaration");
+  P.Globals.push_back(std::move(G));
+}
+
+void Parser::parseFunctionDecl(Program &P) {
+  FunctionDecl F;
+  F.Loc = peek().Loc;
+  advance(); // 'function'
+  F.Name = expect(TokenKind::Identifier, "as the function name").Text;
+  expect(TokenKind::LParen, "to open the parameter list");
+  if (!at(TokenKind::RParen)) {
+    while (true) {
+      Param Prm;
+      Prm.Loc = peek().Loc;
+      Prm.Type = parseRelType();
+      Prm.Name = expect(TokenKind::Identifier, "as a parameter name").Text;
+      F.Params.push_back(std::move(Prm));
+      if (!accept(TokenKind::Comma))
+        break;
+    }
+  }
+  expect(TokenKind::RParen, "to close the parameter list");
+  F.Body = parseBlock();
+  P.Functions.push_back(std::move(F));
+}
+
+Program Parser::parseProgram() {
+  Program P;
+  while (!at(TokenKind::EndOfFile)) {
+    size_t Before = Pos;
+    switch (peek().Kind) {
+    case TokenKind::KwDomain:
+      parseDomainDecl(P);
+      break;
+    case TokenKind::KwAttribute:
+      parseAttributeDecl(P);
+      break;
+    case TokenKind::KwPhysdom:
+      parsePhysdomDecl(P);
+      break;
+    case TokenKind::KwRelation:
+      parseGlobalDecl(P);
+      break;
+    case TokenKind::KwFunction:
+      parseFunctionDecl(P);
+      break;
+    default:
+      Diags.error(peek().Loc,
+                  strFormat("expected a top-level declaration, found %s",
+                            tokenKindName(peek().Kind).c_str()));
+      synchronize();
+      break;
+    }
+    if (Pos == Before)
+      advance(); // Guarantee progress even on malformed input.
+  }
+  return P;
+}
+
+} // namespace
+
+Program jedd::lang::parse(const std::string &Source,
+                          DiagnosticEngine &Diags) {
+  Parser P(lex(Source, Diags), Diags);
+  return P.parseProgram();
+}

@@ -1,0 +1,25 @@
+//===- Parser.h - Recursive-descent parser for Jedd -------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_JEDD_PARSER_H
+#define JEDDPP_JEDD_PARSER_H
+
+#include "jedd/Ast.h"
+#include "jedd/Lexer.h"
+
+namespace jedd {
+namespace lang {
+
+/// Parses \p Source into a Program. Syntax errors go to \p Diags; the
+/// returned program contains everything parsed up to the first
+/// unrecoverable error (callers should test Diags.hasErrors()).
+Program parse(const std::string &Source, DiagnosticEngine &Diags);
+
+} // namespace lang
+} // namespace jedd
+
+#endif // JEDDPP_JEDD_PARSER_H

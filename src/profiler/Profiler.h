@@ -1,0 +1,78 @@
+//===- Profiler.h - BDD operation profiler ----------------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiler of Section 4.3. The paper's runtime records, for each
+/// relational operation, the time taken and the number of nodes and shape
+/// of the operand and result BDDs, stores them in a SQL database and
+/// serves browsable views over CGI. We substitute a self-contained static
+/// HTML report (with inline SVG shape charts), which preserves the three
+/// things the paper uses the profiler for: finding expensive operations,
+/// finding oversized BDDs, and inspecting their shapes to tune variable
+/// orderings and physical domain assignments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_PROFILER_PROFILER_H
+#define JEDDPP_PROFILER_PROFILER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jedd {
+namespace prof {
+
+/// One executed relational operation.
+struct OpRecord {
+  std::string OpKind; ///< "join", "compose", "union", "replace", ...
+  std::string Site;   ///< Program-point label supplied by the caller.
+  uint64_t Micros = 0;
+  size_t LeftNodes = 0;
+  size_t RightNodes = 0; ///< Zero for unary operations.
+  size_t ResultNodes = 0;
+  double ResultTuples = 0.0;
+  std::vector<size_t> ResultShape; ///< Nodes per BDD level.
+};
+
+/// Aggregated view of all executions of one (kind, site) operation —
+/// the "overall profile view" of Section 4.3.
+struct OpSummary {
+  std::string OpKind;
+  std::string Site;
+  uint64_t Count = 0;
+  uint64_t TotalMicros = 0;
+  size_t MaxResultNodes = 0;
+};
+
+/// Collects operation records and renders the browsable report.
+class Profiler {
+public:
+  void record(OpRecord Record) { Records.push_back(std::move(Record)); }
+  void clear() { Records.clear(); }
+
+  const std::vector<OpRecord> &records() const { return Records; }
+
+  /// Per-(kind, site) aggregation, sorted by total time descending.
+  std::vector<OpSummary> summarize() const;
+
+  /// Renders the full report as one self-contained HTML page: the
+  /// summary table, a detail row per execution, and an SVG shape chart
+  /// for the largest executions.
+  std::string renderHtml() const;
+
+  /// Writes renderHtml() to \p Path. Returns false on I/O failure.
+  bool writeHtml(const std::string &Path) const;
+
+private:
+  std::vector<OpRecord> Records;
+};
+
+} // namespace prof
+} // namespace jedd
+
+#endif // JEDDPP_PROFILER_PROFILER_H

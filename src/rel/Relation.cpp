@@ -1,0 +1,527 @@
+//===- Relation.cpp - Database-style relations over BDDs ------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "rel/Relation.h"
+#include "profiler/Profiler.h"
+#include "util/Fatal.h"
+#include "util/StringUtils.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+using namespace jedd;
+using namespace jedd::rel;
+
+namespace {
+
+/// Scoped profiling of one relational operation; records into the
+/// universe's profiler (if any) on finish().
+class OpTimer {
+public:
+  OpTimer(Universe *U, const char *Kind, const char *Site, size_t LeftNodes,
+          size_t RightNodes)
+      : U(U), Kind(Kind), Site(Site), LeftNodes(LeftNodes),
+        RightNodes(RightNodes) {
+    if (U->profiler())
+      Start = std::chrono::steady_clock::now();
+  }
+
+  void finish(const Relation &Result) {
+    prof::Profiler *P = U->profiler();
+    if (!P)
+      return;
+    auto End = std::chrono::steady_clock::now();
+    prof::OpRecord R;
+    R.OpKind = Kind;
+    R.Site = Site;
+    R.Micros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
+            .count());
+    R.LeftNodes = LeftNodes;
+    R.RightNodes = RightNodes;
+    R.ResultNodes = U->manager().nodeCount(Result.body());
+    R.ResultTuples = Result.size();
+    R.ResultShape = U->manager().levelShape(Result.body());
+    P->record(std::move(R));
+  }
+
+private:
+  Universe *U;
+  const char *Kind;
+  const char *Site;
+  size_t LeftNodes, RightNodes;
+  std::chrono::steady_clock::time_point Start;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Schema helpers
+//===----------------------------------------------------------------------===//
+
+PhysDomId Relation::physOf(AttributeId Attr) const {
+  for (const AttrBinding &B : Schema)
+    if (B.Attr == Attr)
+      return B.Phys;
+  fatalError("relation has no attribute '" + U->attributeName(Attr) + "'");
+}
+
+bool Relation::hasAttribute(AttributeId Attr) const {
+  for (const AttrBinding &B : Schema)
+    if (B.Attr == Attr)
+      return true;
+  return false;
+}
+
+std::vector<PhysDomId> Relation::schemaPhysDoms() const {
+  std::vector<PhysDomId> Result;
+  Result.reserve(Schema.size());
+  for (const AttrBinding &B : Schema)
+    Result.push_back(B.Phys);
+  return Result;
+}
+
+unsigned Relation::schemaBits() const {
+  unsigned Bits = 0;
+  for (const AttrBinding &B : Schema)
+    Bits += U->pack().bits(B.Phys);
+  return Bits;
+}
+
+//===----------------------------------------------------------------------===//
+// Alignment: the automatically inserted replace operations
+//===----------------------------------------------------------------------===//
+
+Relation Relation::alignedToThis(const Relation &Other,
+                                 const char *Site) const {
+  JEDD_CHECK(U && Other.U, "operation on an invalid relation");
+  JEDD_CHECK(U == Other.U, "relations belong to different universes");
+  JEDD_CHECK(Schema.size() == Other.Schema.size(),
+             "operands have different schemas");
+  std::vector<std::pair<PhysDomId, PhysDomId>> Moves;
+  for (const AttrBinding &B : Schema) {
+    // Schemas are unordered sets of attributes; match by attribute.
+    JEDD_CHECK(Other.hasAttribute(B.Attr),
+               "operands have different schemas: right operand lacks '" +
+                   U->attributeName(B.Attr) + "'");
+    PhysDomId OtherPhys = Other.physOf(B.Attr);
+    if (B.Phys != OtherPhys)
+      Moves.push_back({OtherPhys, B.Phys});
+  }
+  if (Moves.empty())
+    return Other;
+  OpTimer Timer(U, "replace", Site, Other.nodeCount(), 0);
+  Relation Result(U, Schema, U->pack().replaceDomains(Other.Body, Moves));
+  Timer.finish(Result);
+  return Result;
+}
+
+Relation Relation::withBindings(const std::vector<AttrBinding> &Target,
+                                const char *Site) const {
+  Relation Dummy(U, normalizeSchema(*U, Target), U->manager().falseBdd());
+  return Dummy.alignedToThis(*this, Site);
+}
+
+//===----------------------------------------------------------------------===//
+// Set operations and comparison
+//===----------------------------------------------------------------------===//
+
+Relation Relation::operator|(const Relation &Other) const {
+  Relation Aligned = alignedToThis(Other, "union");
+  OpTimer Timer(U, "union", "", nodeCount(), Aligned.nodeCount());
+  Relation Result(U, Schema, Body | Aligned.Body);
+  Timer.finish(Result);
+  return Result;
+}
+
+Relation Relation::operator&(const Relation &Other) const {
+  Relation Aligned = alignedToThis(Other, "intersect");
+  OpTimer Timer(U, "intersect", "", nodeCount(), Aligned.nodeCount());
+  Relation Result(U, Schema, Body & Aligned.Body);
+  Timer.finish(Result);
+  return Result;
+}
+
+Relation Relation::operator-(const Relation &Other) const {
+  Relation Aligned = alignedToThis(Other, "difference");
+  OpTimer Timer(U, "difference", "", nodeCount(), Aligned.nodeCount());
+  Relation Result(U, Schema, Body - Aligned.Body);
+  Timer.finish(Result);
+  return Result;
+}
+
+Relation &Relation::operator|=(const Relation &Other) {
+  *this = *this | Other;
+  return *this;
+}
+Relation &Relation::operator&=(const Relation &Other) {
+  *this = *this & Other;
+  return *this;
+}
+Relation &Relation::operator-=(const Relation &Other) {
+  *this = *this - Other;
+  return *this;
+}
+
+bool Relation::operator==(const Relation &Other) const {
+  Relation Aligned = alignedToThis(Other, "compare");
+  return Body == Aligned.Body;
+}
+
+//===----------------------------------------------------------------------===//
+// Attribute operations
+//===----------------------------------------------------------------------===//
+
+Relation Relation::project(const std::vector<AttributeId> &Remove,
+                           const char *Site) const {
+  JEDD_CHECK(U, "operation on an invalid relation");
+  std::vector<PhysDomId> Quantified;
+  std::vector<AttrBinding> NewSchema;
+  for (const AttrBinding &B : Schema) {
+    if (std::find(Remove.begin(), Remove.end(), B.Attr) != Remove.end())
+      Quantified.push_back(B.Phys);
+    else
+      NewSchema.push_back(B);
+  }
+  JEDD_CHECK(Quantified.size() == Remove.size(),
+             "projection of an attribute the relation does not have");
+  OpTimer Timer(U, "project", Site, nodeCount(), 0);
+  Relation Result(U, std::move(NewSchema),
+                  U->manager().exists(Body, U->pack().cubeOf(Quantified)));
+  Timer.finish(Result);
+  return Result;
+}
+
+Relation Relation::projectTo(const std::vector<AttributeId> &Keep,
+                             const char *Site) const {
+  std::vector<AttributeId> Remove;
+  for (const AttrBinding &B : Schema)
+    if (std::find(Keep.begin(), Keep.end(), B.Attr) == Keep.end())
+      Remove.push_back(B.Attr);
+  return project(Remove, Site);
+}
+
+Relation Relation::rename(AttributeId From, AttributeId To,
+                          const char *Site) const {
+  (void)Site;
+  JEDD_CHECK(U, "operation on an invalid relation");
+  JEDD_CHECK(hasAttribute(From), "rename source '" +
+                                     U->attributeName(From) +
+                                     "' not in the relation");
+  JEDD_CHECK(!hasAttribute(To), "rename target '" + U->attributeName(To) +
+                                    "' already in the relation");
+  JEDD_CHECK(U->attributeDomain(From) == U->attributeDomain(To),
+             "rename between attributes of different domains");
+  // No BDD change: only the attribute-to-physical-domain map is updated
+  // (Section 3.2.2).
+  std::vector<AttrBinding> NewSchema;
+  for (const AttrBinding &B : Schema)
+    NewSchema.push_back(B.Attr == From ? AttrBinding{To, B.Phys} : B);
+  return Relation(U, std::move(NewSchema), Body);
+}
+
+Relation Relation::copy(AttributeId From, AttributeId NewAttr,
+                        PhysDomId PhysForNew, const char *Site) const {
+  JEDD_CHECK(U, "operation on an invalid relation");
+  JEDD_CHECK(hasAttribute(From), "copy source '" + U->attributeName(From) +
+                                     "' not in the relation");
+  JEDD_CHECK(!hasAttribute(NewAttr), "copy target '" +
+                                         U->attributeName(NewAttr) +
+                                         "' already in the relation");
+  JEDD_CHECK(U->attributeDomain(From) == U->attributeDomain(NewAttr),
+             "copy between attributes of different domains");
+  if (PhysForNew == NoPhysDom)
+    PhysForNew = U->pickFreePhysDom(NewAttr, schemaPhysDoms());
+  JEDD_CHECK(U->fits(NewAttr, PhysForNew),
+             "copy target physical domain too narrow");
+  for (const AttrBinding &B : Schema)
+    JEDD_CHECK(B.Phys != PhysForNew,
+               "copy target physical domain already used by the relation");
+
+  OpTimer Timer(U, "copy", Site, nodeCount(), 0);
+  bdd::Bdd Equal = U->pack().equal(physOf(From), PhysForNew);
+  std::vector<AttrBinding> NewSchema = Schema;
+  NewSchema.push_back({NewAttr, PhysForNew});
+  Relation Result(U, std::move(NewSchema), Body & Equal);
+  Timer.finish(Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Join and composition
+//===----------------------------------------------------------------------===//
+
+Relation Relation::prepareForMerge(const Relation &Other,
+                                   const std::vector<AttributeId> &LeftAttrs,
+                                   const std::vector<AttributeId> &RightAttrs,
+                                   std::vector<AttrBinding> &OtherKept,
+                                   bool DropLeftCompared,
+                                   const char *Site) const {
+  JEDD_CHECK(U && Other.U, "operation on an invalid relation");
+  JEDD_CHECK(U == Other.U, "relations belong to different universes");
+  JEDD_CHECK(LeftAttrs.size() == RightAttrs.size(),
+             "join/compose attribute lists differ in length");
+
+  // Figure 6 checks, dynamically: compared attributes exist and are
+  // pairwise distinct; the result has no duplicate attribute.
+  for (size_t I = 0; I != LeftAttrs.size(); ++I) {
+    JEDD_CHECK(hasAttribute(LeftAttrs[I]),
+               "left operand lacks compared attribute '" +
+                   U->attributeName(LeftAttrs[I]) + "'");
+    JEDD_CHECK(Other.hasAttribute(RightAttrs[I]),
+               "right operand lacks compared attribute '" +
+                   U->attributeName(RightAttrs[I]) + "'");
+    JEDD_CHECK(U->attributeDomain(LeftAttrs[I]) ==
+                   U->attributeDomain(RightAttrs[I]),
+               "compared attributes '" + U->attributeName(LeftAttrs[I]) +
+                   "' and '" + U->attributeName(RightAttrs[I]) +
+                   "' draw from different domains");
+    for (size_t K = 0; K != I; ++K) {
+      JEDD_CHECK(LeftAttrs[K] != LeftAttrs[I],
+                 "attribute compared twice on the left");
+      JEDD_CHECK(RightAttrs[K] != RightAttrs[I],
+                 "attribute compared twice on the right");
+    }
+  }
+  for (const AttrBinding &B : Other.Schema) {
+    bool Compared = std::find(RightAttrs.begin(), RightAttrs.end(), B.Attr) !=
+                    RightAttrs.end();
+    // For compositions the left compared attributes leave the result, so
+    // a right attribute may reuse their names (Figure 6, [Compose]).
+    bool InLeftResult =
+        hasAttribute(B.Attr) &&
+        !(DropLeftCompared &&
+          std::find(LeftAttrs.begin(), LeftAttrs.end(), B.Attr) !=
+              LeftAttrs.end());
+    JEDD_CHECK(Compared || !InLeftResult,
+               "result would contain attribute '" +
+                   U->attributeName(B.Attr) + "' twice");
+  }
+
+  // Decide the final physical domain of every right-hand attribute.
+  // Compared attributes land on the left operand's physical domains so
+  // the AND compares them; the rest must avoid every physical domain the
+  // left operand uses (Section 3.2.2).
+  std::vector<PhysDomId> UsedByLeft = schemaPhysDoms();
+  std::vector<PhysDomId> Taken = UsedByLeft;
+  std::vector<std::pair<AttributeId, PhysDomId>> Final;
+
+  for (size_t I = 0; I != RightAttrs.size(); ++I)
+    Final.push_back({RightAttrs[I], physOf(LeftAttrs[I])});
+
+  // Pass 1: keep attributes already out of the way.
+  for (const AttrBinding &B : Other.Schema) {
+    if (std::find(RightAttrs.begin(), RightAttrs.end(), B.Attr) !=
+        RightAttrs.end())
+      continue;
+    if (std::find(Taken.begin(), Taken.end(), B.Phys) == Taken.end()) {
+      Final.push_back({B.Attr, B.Phys});
+      Taken.push_back(B.Phys);
+    }
+  }
+  // Pass 2: relocate the clashing ones to free physical domains.
+  for (const AttrBinding &B : Other.Schema) {
+    bool Handled = false;
+    for (auto &[Attr, Phys] : Final)
+      Handled |= (Attr == B.Attr);
+    if (Handled)
+      continue;
+    PhysDomId Fresh = U->pickFreePhysDom(B.Attr, Taken);
+    Final.push_back({B.Attr, Fresh});
+    Taken.push_back(Fresh);
+  }
+
+  // Build the simultaneous move list and the kept-attribute bindings
+  // (the latter in the right operand's declaration order).
+  std::vector<std::pair<PhysDomId, PhysDomId>> Moves;
+  OtherKept.clear();
+  for (const AttrBinding &B : Other.Schema) {
+    PhysDomId Target = NoPhysDom;
+    for (auto &[Attr, Phys] : Final)
+      if (Attr == B.Attr)
+        Target = Phys;
+    if (B.Phys != Target)
+      Moves.push_back({B.Phys, Target});
+    if (std::find(RightAttrs.begin(), RightAttrs.end(), B.Attr) ==
+        RightAttrs.end())
+      OtherKept.push_back({B.Attr, Target});
+  }
+  if (Moves.empty())
+    return Other;
+  OpTimer Timer(U, "replace", Site, Other.nodeCount(), 0);
+  std::vector<AttrBinding> NewSchema;
+  for (const AttrBinding &B : Other.Schema) {
+    PhysDomId NewPhys = NoPhysDom;
+    for (auto &[Attr, Phys] : Final)
+      if (Attr == B.Attr)
+        NewPhys = Phys;
+    NewSchema.push_back({B.Attr, NewPhys});
+  }
+  Relation Result(U, std::move(NewSchema),
+                  U->pack().replaceDomains(Other.Body, Moves));
+  Timer.finish(Result);
+  return Result;
+}
+
+Relation Relation::join(const Relation &Other,
+                        const std::vector<AttributeId> &LeftAttrs,
+                        const std::vector<AttributeId> &RightAttrs,
+                        const char *Site) const {
+  std::vector<AttrBinding> OtherKept;
+  Relation Aligned = prepareForMerge(Other, LeftAttrs, RightAttrs, OtherKept,
+                                     /*DropLeftCompared=*/false, Site);
+
+  OpTimer Timer(U, "join", Site, nodeCount(), Aligned.nodeCount());
+  std::vector<AttrBinding> NewSchema = Schema;
+  NewSchema.insert(NewSchema.end(), OtherKept.begin(), OtherKept.end());
+  Relation Result(U, std::move(NewSchema), Body & Aligned.Body);
+  Timer.finish(Result);
+  return Result;
+}
+
+Relation Relation::compose(const Relation &Other,
+                           const std::vector<AttributeId> &LeftAttrs,
+                           const std::vector<AttributeId> &RightAttrs,
+                           const char *Site) const {
+  std::vector<AttrBinding> OtherKept;
+  Relation Aligned = prepareForMerge(Other, LeftAttrs, RightAttrs, OtherKept,
+                                     /*DropLeftCompared=*/true, Site);
+
+  OpTimer Timer(U, "compose", Site, nodeCount(), Aligned.nodeCount());
+  // One relational product: AND + exists over the compared physical
+  // domains in a single BDD recursion.
+  std::vector<PhysDomId> ComparedPhys;
+  std::vector<AttrBinding> NewSchema;
+  for (const AttrBinding &B : Schema) {
+    if (std::find(LeftAttrs.begin(), LeftAttrs.end(), B.Attr) !=
+        LeftAttrs.end())
+      ComparedPhys.push_back(B.Phys);
+    else
+      NewSchema.push_back(B);
+  }
+  NewSchema.insert(NewSchema.end(), OtherKept.begin(), OtherKept.end());
+  Relation Result(U, std::move(NewSchema),
+                  U->manager().relProd(Body, Aligned.Body,
+                                       U->pack().cubeOf(ComparedPhys)));
+  Timer.finish(Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction
+//===----------------------------------------------------------------------===//
+
+double Relation::size() const {
+  JEDD_CHECK(U, "operation on an invalid relation");
+  // The BDD leaves unused physical domains as wildcards; divide them out.
+  unsigned UnusedBits = U->manager().numVars() - schemaBits();
+  return U->manager().satCount(Body) / std::pow(2.0, UnusedBits);
+}
+
+void Relation::insert(const std::vector<uint64_t> &Values) {
+  JEDD_CHECK(U, "operation on an invalid relation");
+  JEDD_CHECK(Values.size() == Schema.size(),
+             "tuple arity does not match the schema");
+  bdd::Bdd Tuple = U->manager().trueBdd();
+  for (size_t I = 0; I != Schema.size(); ++I) {
+    JEDD_CHECK(Values[I] < U->domainSize(U->attributeDomain(Schema[I].Attr)),
+               "value out of domain range for attribute '" +
+                   U->attributeName(Schema[I].Attr) + "'");
+    Tuple = Tuple & U->pack().encode(Schema[I].Phys, Values[I]);
+  }
+  Body = Body | Tuple;
+}
+
+bool Relation::contains(const std::vector<uint64_t> &Values) const {
+  JEDD_CHECK(U, "operation on an invalid relation");
+  JEDD_CHECK(Values.size() == Schema.size(),
+             "tuple arity does not match the schema");
+  bdd::Bdd Tuple = U->manager().trueBdd();
+  for (size_t I = 0; I != Schema.size(); ++I)
+    Tuple = Tuple & U->pack().encode(Schema[I].Phys, Values[I]);
+  return !(Tuple & Body).isFalse();
+}
+
+void Relation::iterate(
+    const std::function<bool(const std::vector<uint64_t> &)> &Fn) const {
+  JEDD_CHECK(U, "operation on an invalid relation");
+  std::vector<PhysDomId> Phys = schemaPhysDoms();
+  std::vector<unsigned> Vars = U->pack().sortedVars(Phys);
+  std::vector<uint64_t> Tuple(Schema.size());
+  U->manager().enumerate(Body, Vars, [&](const std::vector<bool> &Bits) {
+    for (size_t I = 0; I != Schema.size(); ++I)
+      Tuple[I] = U->pack().decodeValue(Schema[I].Phys, Phys, Bits);
+    return Fn(Tuple);
+  });
+}
+
+std::vector<std::vector<uint64_t>> Relation::tuples() const {
+  std::vector<std::vector<uint64_t>> Result;
+  iterate([&](const std::vector<uint64_t> &Tuple) {
+    Result.push_back(Tuple);
+    return true;
+  });
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::vector<uint64_t> Relation::values() const {
+  JEDD_CHECK(Schema.size() == 1,
+             "values() requires a single-attribute relation");
+  std::vector<uint64_t> Result;
+  iterate([&](const std::vector<uint64_t> &Tuple) {
+    Result.push_back(Tuple[0]);
+    return true;
+  });
+  std::sort(Result.begin(), Result.end());
+  return Result;
+}
+
+std::string Relation::toString() const {
+  // Header of attribute names, then one line per tuple, like Figure 3.
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::string> Header;
+  for (const AttrBinding &B : Schema)
+    Header.push_back(U->attributeName(B.Attr));
+  Rows.push_back(Header);
+  for (const std::vector<uint64_t> &Tuple : tuples()) {
+    std::vector<std::string> Row;
+    for (size_t I = 0; I != Schema.size(); ++I)
+      Row.push_back(U->label(U->attributeDomain(Schema[I].Attr), Tuple[I]));
+    Rows.push_back(std::move(Row));
+  }
+
+  std::vector<size_t> Widths(Schema.size(), 0);
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I != Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+
+  std::string Out;
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    for (size_t I = 0; I != Rows[R].size(); ++I) {
+      Out += Rows[R][I];
+      if (I + 1 != Rows[R].size())
+        Out += std::string(Widths[I] - Rows[R][I].size() + 2, ' ');
+    }
+    Out += '\n';
+    if (R == 0) {
+      size_t Total = 0;
+      for (size_t I = 0; I != Widths.size(); ++I)
+        Total += Widths[I] + (I + 1 != Widths.size() ? 2 : 0);
+      Out += std::string(Total, '-');
+      Out += '\n';
+    }
+  }
+  if (Rows.size() == 1)
+    Out += "(empty)\n";
+  return Out;
+}
+
+size_t Relation::nodeCount() const {
+  return U->manager().nodeCount(Body);
+}

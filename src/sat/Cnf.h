@@ -1,0 +1,86 @@
+//===- Cnf.h - Literals, clauses, CNF formulas ------------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CNF building blocks shared by the CDCL solver, the DPLL reference
+/// solver, and the DIMACS reader/writer. The physical domain assignment
+/// of Section 3.3.2 is encoded directly in CNF ("it is easier to specify
+/// it directly in CNF than to construct an arbitrary formula and convert
+/// it to CNF later"), so this is the interchange format between jeddc and
+/// the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_SAT_CNF_H
+#define JEDDPP_SAT_CNF_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jedd {
+namespace sat {
+
+/// 0-based variable index.
+using Var = uint32_t;
+
+/// Literal: variable with a sign packed as 2*Var + (negated ? 1 : 0).
+/// This is the MiniSat convention; negation is a single xor.
+using Lit = uint32_t;
+
+constexpr Lit NoLit = 0xFFFFFFFFu;
+
+inline Lit mkLit(Var V, bool Negated = false) { return 2 * V + Negated; }
+inline Var varOf(Lit L) { return L >> 1; }
+inline bool isNegated(Lit L) { return L & 1; }
+inline Lit negate(Lit L) { return L ^ 1; }
+
+/// Renders a literal in DIMACS style ("-3" for the negation of var 2).
+std::string litToString(Lit L);
+
+/// A plain CNF formula. Clause order is meaningful: the Jedd assignment
+/// encoder relies on clause indices to map an unsat core back to the
+/// constraints that produced it.
+struct CnfFormula {
+  unsigned NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses;
+
+  Var newVar() { return NumVars++; }
+
+  /// Appends a clause and returns its index.
+  size_t addClause(std::vector<Lit> Lits) {
+#ifndef NDEBUG
+    for (Lit L : Lits)
+      assert(varOf(L) < NumVars && "literal over undeclared variable");
+#endif
+    Clauses.push_back(std::move(Lits));
+    return Clauses.size() - 1;
+  }
+
+  size_t numClauses() const { return Clauses.size(); }
+  /// Total number of literal occurrences — the "Literals" column of the
+  /// paper's Table 1.
+  size_t numLiterals() const {
+    size_t N = 0;
+    for (const auto &C : Clauses)
+      N += C.size();
+    return N;
+  }
+};
+
+/// Serializes to DIMACS cnf format.
+std::string toDimacs(const CnfFormula &F);
+
+/// Parses DIMACS cnf text. Returns false and fills \p Error on malformed
+/// input.
+bool parseDimacs(const std::string &Text, CnfFormula &F, std::string &Error);
+
+} // namespace sat
+} // namespace jedd
+
+#endif // JEDDPP_SAT_CNF_H

@@ -1,0 +1,42 @@
+//===- CoreTools.h - Unsat core checking and minimization -------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers around unsat cores. The paper notes that zchaff's cores "were
+/// indeed minimal" in its experience; our CDCL cores are small but not
+/// guaranteed minimal, so jeddc runs the deletion-based minimizer before
+/// turning a core into an error message.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_SAT_CORETOOLS_H
+#define JEDDPP_SAT_CORETOOLS_H
+
+#include "sat/Cnf.h"
+
+#include <vector>
+
+namespace jedd {
+namespace sat {
+
+/// Checks that \p Model satisfies every clause of \p F.
+bool checkModel(const CnfFormula &F, const std::vector<bool> &Model);
+
+/// Checks that the subset \p Core of F's clauses is unsatisfiable.
+bool verifyCore(const CnfFormula &F, const std::vector<uint32_t> &Core);
+
+/// Deletion-based minimization: repeatedly drops clauses whose removal
+/// keeps the core unsatisfiable. The result is a minimal unsat core
+/// (removing any single clause makes it satisfiable). \p Core must be an
+/// unsat core of \p F.
+std::vector<uint32_t> minimizeCore(const CnfFormula &F,
+                                   const std::vector<uint32_t> &Core);
+
+} // namespace sat
+} // namespace jedd
+
+#endif // JEDDPP_SAT_CORETOOLS_H

@@ -1,0 +1,498 @@
+//===- Solver.cpp - CDCL SAT solver with unsat cores ----------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include <algorithm>
+
+using namespace jedd;
+using namespace jedd::sat;
+
+//===----------------------------------------------------------------------===//
+// Variables and clauses
+//===----------------------------------------------------------------------===//
+
+Var Solver::newVar() {
+  Var V = static_cast<Var>(VarCount++);
+  Values.push_back(0);
+  Levels.push_back(0);
+  Reasons.push_back(NoReason);
+  Activity.push_back(0.0);
+  SavedPhase.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+void Solver::addClause(const std::vector<Lit> &Lits) {
+  assert(!Solved && "clauses must be added before solve()");
+  uint32_t Id = addClauseInternal(Lits, /*Learned=*/false, {});
+  (void)Id;
+}
+
+void Solver::addFormula(const CnfFormula &F) {
+  while (VarCount < F.NumVars)
+    newVar();
+  for (const auto &C : F.Clauses)
+    addClause(C);
+}
+
+uint32_t Solver::addClauseInternal(std::vector<Lit> Lits, bool Learned,
+                                   std::vector<uint32_t> Sources) {
+  uint32_t Id = static_cast<uint32_t>(Clauses.size());
+  if (!Learned)
+    NumOriginal = Id + 1;
+
+  if (!Learned) {
+    // Normalize a copy for solving; the id still identifies the original.
+    std::sort(Lits.begin(), Lits.end());
+    Lits.erase(std::unique(Lits.begin(), Lits.end()), Lits.end());
+    bool Tautology = false;
+    for (size_t I = 0; I + 1 < Lits.size(); ++I)
+      if (Lits[I + 1] == negate(Lits[I]))
+        Tautology = true;
+    Clauses.push_back({std::move(Lits), Learned, std::move(Sources)});
+    if (Tautology)
+      return Id; // Never attach; the clause is always satisfied.
+  } else {
+    Clauses.push_back({std::move(Lits), Learned, std::move(Sources)});
+  }
+
+  Clause &C = Clauses[Id];
+  if (C.Lits.empty()) {
+    if (!FoundEmptyClause) {
+      FoundEmptyClause = true;
+      EmptyClauseId = Id;
+    }
+    return Id;
+  }
+  if (C.Lits.size() >= 2)
+    attachClause(Id);
+  return Id;
+}
+
+void Solver::attachClause(uint32_t Id) {
+  const Clause &C = Clauses[Id];
+  assert(C.Lits.size() >= 2 && "cannot watch a unit clause");
+  Watches[C.Lits[0]].push_back(Id);
+  Watches[C.Lits[1]].push_back(Id);
+}
+
+//===----------------------------------------------------------------------===//
+// Assignment trail
+//===----------------------------------------------------------------------===//
+
+void Solver::enqueue(Lit L, uint32_t Reason) {
+  assert(litIsUnassigned(L) && "literal already assigned");
+  Var V = varOf(L);
+  Values[V] = isNegated(L) ? 2 : 1;
+  Levels[V] = level();
+  Reasons[V] = Reason;
+  Trail.push_back(L);
+  ++Stats.Propagations;
+}
+
+void Solver::backtrack(uint32_t ToLevel) {
+  if (level() <= ToLevel)
+    return;
+  size_t Keep = TrailLimits[ToLevel];
+  for (size_t I = Trail.size(); I-- > Keep;) {
+    Var V = varOf(Trail[I]);
+    SavedPhase[V] = Values[V] == 1;
+    Values[V] = 0;
+    Reasons[V] = NoReason;
+  }
+  Trail.resize(Keep);
+  TrailLimits.resize(ToLevel);
+  PropagateHead = Keep;
+}
+
+uint32_t Solver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    // P just became true, so literal ~P is false; visit its watchers.
+    Lit FalseLit = negate(P);
+    std::vector<uint32_t> &WList = Watches[FalseLit];
+    size_t Out = 0;
+    for (size_t In = 0; In != WList.size(); ++In) {
+      uint32_t Id = WList[In];
+      Clause &C = Clauses[Id];
+      // Ensure the false literal sits at position 1.
+      if (C.Lits[0] == FalseLit)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == FalseLit && "watch list out of sync");
+
+      if (litIsTrue(C.Lits[0])) {
+        WList[Out++] = Id; // Clause satisfied; keep watching.
+        continue;
+      }
+      // Look for a non-false replacement watch.
+      bool Moved = false;
+      for (size_t K = 2; K != C.Lits.size(); ++K) {
+        if (!litIsFalse(C.Lits[K])) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[C.Lits[1]].push_back(Id);
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // No replacement: unit or conflicting.
+      WList[Out++] = Id;
+      if (litIsFalse(C.Lits[0])) {
+        // Conflict: keep the remaining watchers, then report.
+        for (size_t K = In + 1; K != WList.size(); ++K)
+          WList[Out++] = WList[K];
+        WList.resize(Out);
+        return Id;
+      }
+      enqueue(C.Lits[0], Id);
+    }
+    WList.resize(Out);
+  }
+  return NoReason;
+}
+
+//===----------------------------------------------------------------------===//
+// VSIDS branching
+//===----------------------------------------------------------------------===//
+
+void Solver::bumpVar(Var V) {
+  Activity[V] += ActivityInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    ActivityInc *= 1e-100;
+  }
+}
+
+void Solver::decayActivities() { ActivityInc *= (1.0 / 0.95); }
+
+Lit Solver::pickBranchLit() {
+  // Highest-activity unassigned variable. A linear scan is adequate for
+  // the instance sizes Jedd produces (Table 1 tops out around 10^5
+  // variables with few conflicts); swap in a heap if this ever shows up
+  // in profiles.
+  Var Best = 0;
+  double BestAct = -1.0;
+  bool Found = false;
+  for (Var V = 0; V != VarCount; ++V) {
+    if (Values[V] == 0 && Activity[V] > BestAct) {
+      Best = V;
+      BestAct = Activity[V];
+      Found = true;
+    }
+  }
+  assert(Found && "pickBranchLit with a complete assignment");
+  (void)Found;
+  return mkLit(Best, !SavedPhase[Best]);
+}
+
+//===----------------------------------------------------------------------===//
+// Conflict analysis
+//===----------------------------------------------------------------------===//
+
+void Solver::analyze(uint32_t ConflictId, std::vector<Lit> &Learned,
+                     uint32_t &OutLevel, std::vector<uint32_t> &Sources) {
+  Learned.clear();
+  Learned.push_back(NoLit); // Slot for the asserting literal.
+  Sources.clear();
+
+  std::vector<uint8_t> Seen(VarCount, 0);
+  std::vector<uint8_t> SeenLevel0(VarCount, 0);
+  // Reasons of level-0 literals resolved away implicitly; needed so the
+  // learned clause's resolution sources are complete for core extraction.
+  std::vector<Var> Level0Work;
+
+  int Counter = 0;
+  Lit P = NoLit;
+  uint32_t ClId = ConflictId;
+  size_t Index = Trail.size();
+
+  while (true) {
+    assert(ClId != NoReason && "resolving on a decision");
+    Clause &C = Clauses[ClId];
+    Sources.push_back(ClId);
+    for (Lit Q : C.Lits) {
+      if (Q == P)
+        continue;
+      Var V = varOf(Q);
+      if (Seen[V])
+        continue;
+      if (Levels[V] == 0) {
+        if (!SeenLevel0[V]) {
+          SeenLevel0[V] = 1;
+          Level0Work.push_back(V);
+        }
+        continue;
+      }
+      Seen[V] = 1;
+      bumpVar(V);
+      if (Levels[V] == level())
+        ++Counter;
+      else
+        Learned.push_back(Q);
+    }
+    // Select the next literal to resolve on from the trail.
+    while (!Seen[varOf(Trail[Index - 1])])
+      --Index;
+    P = Trail[Index - 1];
+    --Index;
+    Seen[varOf(P)] = 0;
+    --Counter;
+    if (Counter <= 0)
+      break;
+    ClId = Reasons[varOf(P)];
+  }
+  Learned[0] = negate(P);
+
+  // Pull in the derivations of the level-0 facts used above.
+  while (!Level0Work.empty()) {
+    Var V = Level0Work.back();
+    Level0Work.pop_back();
+    uint32_t R = Reasons[V];
+    assert(R != NoReason && "level-0 literal without a reason");
+    Sources.push_back(R);
+    for (Lit Q : Clauses[R].Lits) {
+      Var W = varOf(Q);
+      if (W != V && !SeenLevel0[W]) {
+        SeenLevel0[W] = 1;
+        Level0Work.push_back(W);
+      }
+    }
+  }
+
+  // Backtrack level: highest level among the non-asserting literals.
+  OutLevel = 0;
+  for (size_t I = 1; I < Learned.size(); ++I)
+    OutLevel = std::max(OutLevel, Levels[varOf(Learned[I])]);
+  // Move a literal of that level into the second watch position so the
+  // clause becomes unit exactly when we backtrack to OutLevel.
+  for (size_t I = 2; I < Learned.size(); ++I)
+    if (Levels[varOf(Learned[I])] == OutLevel) {
+      std::swap(Learned[1], Learned[I]);
+      break;
+    }
+}
+
+void Solver::buildCore(uint32_t ConflictId,
+                       const std::vector<uint32_t> &Extra) {
+  Core.clear();
+  std::vector<uint8_t> SeenClause(Clauses.size(), 0);
+  std::vector<uint8_t> SeenVar(VarCount, 0);
+  std::vector<uint32_t> Work = {ConflictId};
+  Work.insert(Work.end(), Extra.begin(), Extra.end());
+
+  while (!Work.empty()) {
+    uint32_t Id = Work.back();
+    Work.pop_back();
+    if (Id == NoReason || SeenClause[Id])
+      continue;
+    SeenClause[Id] = 1;
+    const Clause &C = Clauses[Id];
+    if (C.Learned) {
+      Work.insert(Work.end(), C.Sources.begin(), C.Sources.end());
+    } else {
+      Core.push_back(Id);
+    }
+    // The conflict is at level 0, so every literal's falsification is
+    // itself derived by a reason clause; follow them.
+    for (Lit Q : C.Lits) {
+      Var V = varOf(Q);
+      if (!SeenVar[V] && Values[V] != 0 && Levels[V] == 0 &&
+          Reasons[V] != NoReason) {
+        SeenVar[V] = 1;
+        Work.push_back(Reasons[V]);
+      }
+    }
+  }
+  std::sort(Core.begin(), Core.end());
+  Core.erase(std::unique(Core.begin(), Core.end()), Core.end());
+}
+
+//===----------------------------------------------------------------------===//
+// Main search loop
+//===----------------------------------------------------------------------===//
+
+/// The Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+/// (the classic MiniSat formulation).
+static uint64_t luby(uint64_t X) {
+  uint64_t Size = 1, Seq = 0;
+  while (Size < X + 1) {
+    ++Seq;
+    Size = 2 * Size + 1;
+  }
+  while (Size - 1 != X) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    X = X % Size;
+  }
+  return 1ULL << Seq;
+}
+
+Result Solver::solve() {
+  assert(!Solved && "solve() may only run once per Solver");
+  Solved = true;
+
+  if (FoundEmptyClause) {
+    Core = {EmptyClauseId};
+    return Result::Unsat;
+  }
+
+  // Enqueue the original unit clauses at level 0.
+  for (uint32_t Id = 0; Id != NumOriginal; ++Id) {
+    const Clause &C = Clauses[Id];
+    if (C.Lits.size() != 1)
+      continue;
+    Lit L = C.Lits[0];
+    if (litIsTrue(L))
+      continue;
+    if (litIsFalse(L)) {
+      buildCore(Id, {});
+      return Result::Unsat;
+    }
+    enqueue(L, Id);
+  }
+
+  uint64_t RestartIndex = 0;
+  uint64_t ConflictsUntilRestart = luby(RestartIndex) * 64;
+
+  while (true) {
+    uint32_t ConflictId = propagate();
+    if (ConflictId != NoReason) {
+      ++Stats.Conflicts;
+      if (level() == 0) {
+        buildCore(ConflictId, {});
+        return Result::Unsat;
+      }
+      std::vector<Lit> Learned;
+      uint32_t BackLevel = 0;
+      std::vector<uint32_t> Sources;
+      analyze(ConflictId, Learned, BackLevel, Sources);
+      backtrack(BackLevel);
+      uint32_t Id = addClauseInternal(Learned, /*Learned=*/true,
+                                      std::move(Sources));
+      ++Stats.LearnedClauses;
+      enqueue(Clauses[Id].Lits[0], Id);
+      decayActivities();
+
+      if (--ConflictsUntilRestart == 0) {
+        ++Stats.Restarts;
+        ++RestartIndex;
+        ConflictsUntilRestart = luby(RestartIndex) * 64;
+        backtrack(0);
+      }
+      continue;
+    }
+
+    if (Trail.size() == VarCount)
+      return Result::Sat;
+
+    ++Stats.Decisions;
+    TrailLimits.push_back(Trail.size());
+    enqueue(pickBranchLit(), NoReason);
+  }
+}
+
+bool Solver::modelValue(Var V) const {
+  assert(Values[V] != 0 && "variable unassigned; was the result Sat?");
+  return Values[V] == 1;
+}
+
+std::vector<bool> Solver::model() const {
+  std::vector<bool> M(VarCount);
+  for (Var V = 0; V != VarCount; ++V)
+    M[V] = modelValue(V);
+  return M;
+}
+
+//===----------------------------------------------------------------------===//
+// DPLL reference solver
+//===----------------------------------------------------------------------===//
+
+Result DpllSolver::solve() {
+  std::vector<int8_t> Assign(Formula.NumVars, -1);
+  if (!solveRec(Assign))
+    return Result::Unsat;
+  Model.assign(Formula.NumVars, false);
+  for (Var V = 0; V != Formula.NumVars; ++V)
+    Model[V] = Assign[V] == 1;
+  return Result::Sat;
+}
+
+bool DpllSolver::solveRec(std::vector<int8_t> &Assign) {
+  // Unit propagation to fixpoint.
+  std::vector<std::pair<Var, int8_t>> Assigned;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &C : Formula.Clauses) {
+      Lit UnitLit = NoLit;
+      bool Satisfied = false;
+      unsigned Unassigned = 0;
+      for (Lit L : C) {
+        int8_t Val = Assign[varOf(L)];
+        if (Val == -1) {
+          ++Unassigned;
+          UnitLit = L;
+        } else if (Val == (isNegated(L) ? 0 : 1)) {
+          Satisfied = true;
+          break;
+        }
+      }
+      if (Satisfied)
+        continue;
+      if (Unassigned == 0) {
+        for (auto &[V, Old] : Assigned)
+          Assign[V] = Old;
+        return false; // Conflict.
+      }
+      if (Unassigned == 1) {
+        Var V = varOf(UnitLit);
+        Assigned.push_back({V, Assign[V]});
+        Assign[V] = isNegated(UnitLit) ? 0 : 1;
+        Changed = true;
+      }
+    }
+  }
+
+  // Find a branching variable among unsatisfied clauses.
+  Var BranchVar = 0;
+  bool FoundVar = false;
+  for (const auto &C : Formula.Clauses) {
+    bool Satisfied = false;
+    for (Lit L : C)
+      if (Assign[varOf(L)] == (isNegated(L) ? 0 : 1)) {
+        Satisfied = true;
+        break;
+      }
+    if (Satisfied)
+      continue;
+    for (Lit L : C)
+      if (Assign[varOf(L)] == -1) {
+        BranchVar = varOf(L);
+        FoundVar = true;
+        break;
+      }
+    if (FoundVar)
+      break;
+  }
+  if (!FoundVar)
+    return true; // Every clause satisfied.
+
+  ++Branches;
+  for (int8_t Value : {1, 0}) {
+    Assign[BranchVar] = Value;
+    if (solveRec(Assign))
+      return true;
+  }
+  Assign[BranchVar] = -1;
+  for (auto &[V, Old] : Assigned)
+    Assign[V] = Old;
+  return false;
+}

@@ -1,0 +1,176 @@
+//===- Solver.h - CDCL SAT solver with unsat cores --------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Chaff-style conflict-driven clause-learning SAT solver standing in
+/// for zchaff [19]: two-watched-literal propagation, first-UIP learning,
+/// VSIDS branching, phase saving and Luby restarts. Like the zchaff
+/// version the paper relies on, it supports *unsatisfiable core
+/// extraction* [30]: on UNSAT it reports a subset of the original clauses
+/// whose conjunction is already unsatisfiable, which jeddc turns into the
+/// targeted "Conflict between ..." error messages of Section 3.3.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_SAT_SOLVER_H
+#define JEDDPP_SAT_SOLVER_H
+
+#include "sat/Cnf.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jedd {
+namespace sat {
+
+enum class Result { Sat, Unsat };
+
+struct SolverStats {
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t Restarts = 0;
+  uint64_t LearnedClauses = 0;
+};
+
+/// CDCL solver. Typical usage:
+/// \code
+///   Solver S;
+///   S.addFormula(F);
+///   if (S.solve() == Result::Sat) use S.modelValue(V);
+///   else use S.unsatCore();
+/// \endcode
+class Solver {
+public:
+  Solver() = default;
+
+  /// Declares a fresh variable and returns it.
+  Var newVar();
+  unsigned numVars() const { return static_cast<unsigned>(VarCount); }
+
+  /// Adds one clause of original (problem) clauses. Clauses are numbered
+  /// by addition order; unsat cores report these numbers. Variables must
+  /// have been declared. An empty clause makes the instance trivially
+  /// unsatisfiable.
+  void addClause(const std::vector<Lit> &Lits);
+
+  /// Convenience: declares missing variables and adds all clauses.
+  void addFormula(const CnfFormula &F);
+
+  /// Runs the search. May be called once per solver instance.
+  Result solve();
+
+  /// After Sat: the value assigned to \p V.
+  bool modelValue(Var V) const;
+  /// After Sat: copies the full model out (indexed by variable).
+  std::vector<bool> model() const;
+
+  /// After Unsat: indices (in addClause order) of an unsatisfiable subset
+  /// of the original clauses. Not guaranteed minimal, but in practice
+  /// small — the paper reports the same experience with zchaff.
+  const std::vector<uint32_t> &unsatCore() const { return Core; }
+
+  const SolverStats &stats() const { return Stats; }
+
+private:
+  // Clause arena. Original clauses come first (their index is the public
+  // clause id); learned clauses follow and carry the ids of the clauses
+  // resolved to derive them, forming the resolution graph the core
+  // extraction walks.
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learned = false;
+    std::vector<uint32_t> Sources; // For learned clauses only.
+  };
+
+  static constexpr uint32_t NoReason = 0xFFFFFFFFu;
+
+  size_t VarCount = 0;
+  std::vector<Clause> Clauses;
+  size_t NumOriginal = 0;
+
+  // Assignment state. Values: 0 unassigned, 1 true, 2 false.
+  std::vector<uint8_t> Values;
+  std::vector<uint32_t> Levels;
+  std::vector<uint32_t> Reasons;
+  std::vector<Lit> Trail;
+  std::vector<size_t> TrailLimits; // Trail size at each decision level.
+  size_t PropagateHead = 0;
+
+  // Two-watched literals: Watches[L] lists clauses watching literal L.
+  std::vector<std::vector<uint32_t>> Watches;
+
+  // VSIDS.
+  std::vector<double> Activity;
+  double ActivityInc = 1.0;
+  std::vector<uint8_t> SavedPhase;
+
+  // Unsat bookkeeping.
+  bool FoundEmptyClause = false;
+  uint32_t EmptyClauseId = 0;
+  std::vector<uint32_t> Core;
+
+  SolverStats Stats;
+  bool Solved = false;
+
+  uint32_t level() const { return static_cast<uint32_t>(TrailLimits.size()); }
+  bool litIsTrue(Lit L) const {
+    return Values[varOf(L)] == (isNegated(L) ? 2 : 1);
+  }
+  bool litIsFalse(Lit L) const {
+    return Values[varOf(L)] == (isNegated(L) ? 1 : 2);
+  }
+  bool litIsUnassigned(Lit L) const { return Values[varOf(L)] == 0; }
+
+  void enqueue(Lit L, uint32_t Reason);
+  /// Returns the conflicting clause id, or NoReason if propagation
+  /// completed without conflict.
+  uint32_t propagate();
+  void attachClause(uint32_t Id);
+  void backtrack(uint32_t ToLevel);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void decayActivities();
+
+  /// First-UIP conflict analysis. Fills \p Learned (asserting literal
+  /// first), \p OutLevel (backtrack level) and \p Sources (clause ids
+  /// resolved, including \p ConflictId).
+  void analyze(uint32_t ConflictId, std::vector<Lit> &Learned,
+               uint32_t &OutLevel, std::vector<uint32_t> &Sources);
+
+  /// Level-0 conflict: computes the unsat core by walking reasons of the
+  /// falsified literals and expanding learned clauses into original ones.
+  void buildCore(uint32_t ConflictId, const std::vector<uint32_t> &Extra);
+
+  uint32_t addClauseInternal(std::vector<Lit> Lits, bool Learned,
+                             std::vector<uint32_t> Sources);
+};
+
+/// A plain recursive DPLL solver (unit propagation + splitting). Used as
+/// a differential-testing oracle and as the ablation baseline in
+/// bench/sat_solver. Exponential; small inputs only.
+class DpllSolver {
+public:
+  explicit DpllSolver(const CnfFormula &F) : Formula(F) {}
+
+  Result solve();
+  /// After Sat: a satisfying assignment (indexed by variable).
+  const std::vector<bool> &model() const { return Model; }
+  uint64_t numBranches() const { return Branches; }
+
+private:
+  const CnfFormula &Formula;
+  std::vector<bool> Model;
+  uint64_t Branches = 0;
+
+  bool solveRec(std::vector<int8_t> &Assign);
+};
+
+} // namespace sat
+} // namespace jedd
+
+#endif // JEDDPP_SAT_SOLVER_H

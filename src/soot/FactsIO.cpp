@@ -1,0 +1,257 @@
+//===- FactsIO.cpp - Text serialization of whole-program facts -------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "soot/FactsIO.h"
+#include "util/StringUtils.h"
+
+#include <cstdlib>
+#include <map>
+
+using namespace jedd;
+using namespace jedd::soot;
+
+//===----------------------------------------------------------------------===//
+// Writing
+//===----------------------------------------------------------------------===//
+
+static std::string idList(const std::vector<Id> &Ids) {
+  std::vector<std::string> Parts;
+  for (Id I : Ids)
+    Parts.push_back(strFormat("%u", I));
+  return Parts.empty() ? "-" : joinStrings(Parts, ",");
+}
+
+static std::string optId(Id I) {
+  return I == NoId ? "-" : strFormat("%u", I);
+}
+
+std::string jedd::soot::writeFacts(const Program &Prog) {
+  std::string Out = "# jeddpp whole-program facts\n";
+  for (size_t K = 0; K != Prog.Klasses.size(); ++K) {
+    Out += "class " + Prog.Klasses[K].Name;
+    if (Prog.Klasses[K].Super != NoId)
+      Out += " extends " + Prog.Klasses[Prog.Klasses[K].Super].Name;
+    Out += '\n';
+  }
+  for (const Signature &S : Prog.Sigs)
+    Out += "sig " + S.Name + '\n';
+  for (const std::string &F : Prog.Fields)
+    Out += "field " + F + '\n';
+  for (const Method &M : Prog.Methods)
+    Out += strFormat("method %u %u this=%s params=%s ret=%s\n", M.Klass,
+                     M.Sig, optId(M.ThisVar).c_str(),
+                     idList(M.ParamVars).c_str(), optId(M.RetVar).c_str());
+  Out += strFormat("entry %u\n", Prog.EntryMethod);
+  for (size_t V = 0; V != Prog.NumVars; ++V)
+    Out += strFormat("var %zu method=%u\n", V, Prog.VarMethod[V]);
+  for (size_t S = 0; S != Prog.NumSites; ++S)
+    Out += strFormat("site %zu type=%u\n", S, Prog.SiteType[S]);
+  for (const AllocStmt &S : Prog.Allocs)
+    Out += strFormat("alloc v=%u site=%u\n", S.Var, S.Site);
+  for (const AssignStmt &S : Prog.Assigns)
+    Out += strFormat("assign dst=%u src=%u\n", S.Dst, S.Src);
+  for (const LoadStmt &S : Prog.Loads)
+    Out += strFormat("load dst=%u base=%u field=%u\n", S.Dst, S.Base,
+                     S.Field);
+  for (const StoreStmt &S : Prog.Stores)
+    Out += strFormat("store base=%u field=%u src=%u\n", S.Base, S.Field,
+                     S.Src);
+  for (const CallSite &C : Prog.Calls)
+    Out += strFormat("call caller=%u sig=%u recv=%u args=%s ret=%s\n",
+                     C.Caller, C.Sig, C.RecvVar, idList(C.ArgVars).c_str(),
+                     optId(C.RetDstVar).c_str());
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Parsing
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A forgiving token scanner over one line.
+class LineParser {
+public:
+  LineParser(const std::vector<std::string> &Tokens) : Tokens(Tokens) {}
+
+  bool done() const { return Pos >= Tokens.size(); }
+
+  /// Next bare token; empty when exhausted.
+  std::string next() { return done() ? std::string() : Tokens[Pos++]; }
+
+  /// Reads "key=value"; returns false on mismatch.
+  bool keyValue(const char *Key, std::string &Value) {
+    if (done())
+      return false;
+    const std::string &Tok = Tokens[Pos];
+    std::string Prefix = std::string(Key) + "=";
+    if (!startsWith(Tok, Prefix))
+      return false;
+    Value = Tok.substr(Prefix.size());
+    ++Pos;
+    return true;
+  }
+
+private:
+  const std::vector<std::string> &Tokens;
+  size_t Pos = 0;
+};
+
+bool parseId(const std::string &Text, Id &Out) {
+  if (Text == "-") {
+    Out = NoId;
+    return true;
+  }
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
+  if (End == Text.c_str() || *End != '\0')
+    return false;
+  Out = static_cast<Id>(Value);
+  return true;
+}
+
+bool parseIdList(const std::string &Text, std::vector<Id> &Out) {
+  Out.clear();
+  if (Text == "-")
+    return true;
+  for (const std::string &Part : splitString(Text, ',')) {
+    Id Value;
+    if (!parseId(Part, Value))
+      return false;
+    Out.push_back(Value);
+  }
+  return true;
+}
+
+} // namespace
+
+bool jedd::soot::parseFacts(const std::string &Text, Program &Prog,
+                            std::string &Error) {
+  Prog = Program();
+  std::map<std::string, Id> KlassByName;
+  size_t LineNo = 0;
+
+  auto Fail = [&](const std::string &Message) {
+    Error = strFormat("line %zu: %s", LineNo, Message.c_str());
+    return false;
+  };
+
+  for (const std::string &RawLine : splitString(Text, '\n')) {
+    ++LineNo;
+    std::string Line(trimString(RawLine));
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::vector<std::string> Tokens;
+    for (const std::string &Tok : splitString(Line, ' '))
+      if (!Tok.empty())
+        Tokens.push_back(Tok);
+    LineParser P(Tokens);
+    std::string Kind = P.next();
+    std::string V1, V2, V3, V4, V5;
+
+    if (Kind == "class") {
+      std::string Name = P.next();
+      if (Name.empty())
+        return Fail("class without a name");
+      Id Super = NoId;
+      if (!P.done()) {
+        if (P.next() != "extends")
+          return Fail("expected 'extends'");
+        std::string SuperName = P.next();
+        auto It = KlassByName.find(SuperName);
+        if (It == KlassByName.end())
+          return Fail("unknown superclass '" + SuperName + "'");
+        Super = It->second;
+      }
+      KlassByName[Name] = static_cast<Id>(Prog.Klasses.size());
+      Prog.Klasses.push_back({Name, Super});
+    } else if (Kind == "sig") {
+      Prog.Sigs.push_back({P.next()});
+    } else if (Kind == "field") {
+      Prog.Fields.push_back(P.next());
+    } else if (Kind == "method") {
+      Method M;
+      Id Klass, Sig;
+      if (!parseId(P.next(), Klass) || !parseId(P.next(), Sig))
+        return Fail("malformed method header");
+      M.Klass = Klass;
+      M.Sig = Sig;
+      if (!P.keyValue("this", V1) || !parseId(V1, M.ThisVar))
+        return Fail("malformed this=");
+      if (!P.keyValue("params", V2) || !parseIdList(V2, M.ParamVars))
+        return Fail("malformed params=");
+      if (!P.keyValue("ret", V3) || !parseId(V3, M.RetVar))
+        return Fail("malformed ret=");
+      Prog.Methods.push_back(std::move(M));
+    } else if (Kind == "entry") {
+      if (!parseId(P.next(), Prog.EntryMethod))
+        return Fail("malformed entry");
+    } else if (Kind == "var") {
+      Id Index, Method;
+      if (!parseId(P.next(), Index) || !P.keyValue("method", V1) ||
+          !parseId(V1, Method))
+        return Fail("malformed var");
+      if (Index != Prog.NumVars)
+        return Fail("variables must be declared in order");
+      ++Prog.NumVars;
+      Prog.VarMethod.push_back(Method);
+    } else if (Kind == "site") {
+      Id Index, Type;
+      if (!parseId(P.next(), Index) || !P.keyValue("type", V1) ||
+          !parseId(V1, Type))
+        return Fail("malformed site");
+      if (Index != Prog.NumSites)
+        return Fail("sites must be declared in order");
+      ++Prog.NumSites;
+      Prog.SiteType.push_back(Type);
+    } else if (Kind == "alloc") {
+      AllocStmt S;
+      if (!P.keyValue("v", V1) || !parseId(V1, S.Var) ||
+          !P.keyValue("site", V2) || !parseId(V2, S.Site))
+        return Fail("malformed alloc");
+      Prog.Allocs.push_back(S);
+    } else if (Kind == "assign") {
+      AssignStmt S;
+      if (!P.keyValue("dst", V1) || !parseId(V1, S.Dst) ||
+          !P.keyValue("src", V2) || !parseId(V2, S.Src))
+        return Fail("malformed assign");
+      Prog.Assigns.push_back(S);
+    } else if (Kind == "load") {
+      LoadStmt S;
+      if (!P.keyValue("dst", V1) || !parseId(V1, S.Dst) ||
+          !P.keyValue("base", V2) || !parseId(V2, S.Base) ||
+          !P.keyValue("field", V3) || !parseId(V3, S.Field))
+        return Fail("malformed load");
+      Prog.Loads.push_back(S);
+    } else if (Kind == "store") {
+      StoreStmt S;
+      if (!P.keyValue("base", V1) || !parseId(V1, S.Base) ||
+          !P.keyValue("field", V2) || !parseId(V2, S.Field) ||
+          !P.keyValue("src", V3) || !parseId(V3, S.Src))
+        return Fail("malformed store");
+      Prog.Stores.push_back(S);
+    } else if (Kind == "call") {
+      CallSite C;
+      if (!P.keyValue("caller", V1) || !parseId(V1, C.Caller) ||
+          !P.keyValue("sig", V2) || !parseId(V2, C.Sig) ||
+          !P.keyValue("recv", V3) || !parseId(V3, C.RecvVar) ||
+          !P.keyValue("args", V4) || !parseIdList(V4, C.ArgVars) ||
+          !P.keyValue("ret", V5) || !parseId(V5, C.RetDstVar))
+        return Fail("malformed call");
+      Prog.Calls.push_back(std::move(C));
+    } else {
+      return Fail("unknown fact kind '" + Kind + "'");
+    }
+  }
+
+  std::string ValidationError;
+  if (!Prog.validate(ValidationError)) {
+    Error = "validation failed: " + ValidationError;
+    return false;
+  }
+  return true;
+}

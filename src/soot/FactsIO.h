@@ -1,0 +1,54 @@
+//===- FactsIO.h - Text serialization of whole-program facts ----*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A line-oriented text format for whole programs, so facts extracted by
+/// an external front end (e.g. a real bytecode reader) can be analyzed,
+/// and generated benchmarks can be persisted and diffed. The format is
+/// one fact per line:
+///
+///   # comment
+///   class C1 extends Object
+///   sig m0()
+///   field f0
+///   method C1 m0() this=4 params=5,6 ret=7
+///   entry 0
+///   var 4 method=0
+///   site 0 type=3
+///   alloc v=4 site=0
+///   assign dst=5 src=4
+///   load dst=6 base=4 field=2
+///   store base=4 field=2 src=5
+///   call caller=0 sig=1 recv=4 args=5,6 ret=7
+///
+/// Classes, signatures, fields, methods are numbered by order of
+/// appearance; writeFacts/parseFacts round-trip exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_SOOT_FACTSIO_H
+#define JEDDPP_SOOT_FACTSIO_H
+
+#include "soot/ProgramModel.h"
+
+#include <string>
+
+namespace jedd {
+namespace soot {
+
+/// Serializes \p Prog to the facts text format.
+std::string writeFacts(const Program &Prog);
+
+/// Parses the facts text format. Returns false and fills \p Error (with
+/// a 1-based line number) on malformed input; the program is validated
+/// before returning.
+bool parseFacts(const std::string &Text, Program &Prog, std::string &Error);
+
+} // namespace soot
+} // namespace jedd
+
+#endif // JEDDPP_SOOT_FACTSIO_H

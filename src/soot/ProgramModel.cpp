@@ -1,0 +1,89 @@
+//===- ProgramModel.cpp - Mini whole-program model -------------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "soot/ProgramModel.h"
+#include "util/StringUtils.h"
+
+using namespace jedd;
+using namespace jedd::soot;
+
+Id Program::declaredMethod(Id KlassId, Id SigId) const {
+  for (size_t M = 0; M != Methods.size(); ++M)
+    if (Methods[M].Klass == KlassId && Methods[M].Sig == SigId)
+      return static_cast<Id>(M);
+  return NoId;
+}
+
+Id Program::resolveVirtual(Id KlassId, Id SigId) const {
+  for (Id K = KlassId; K != NoId; K = Klasses[K].Super) {
+    Id M = declaredMethod(K, SigId);
+    if (M != NoId)
+      return M;
+  }
+  return NoId;
+}
+
+bool Program::validate(std::string &Error) const {
+  auto Fail = [&](std::string Message) {
+    Error = std::move(Message);
+    return false;
+  };
+
+  if (Klasses.empty())
+    return Fail("program has no classes");
+  if (Klasses[0].Super != NoId)
+    return Fail("root class must have no superclass");
+  for (size_t K = 1; K != Klasses.size(); ++K) {
+    if (Klasses[K].Super == NoId)
+      return Fail("non-root class without a superclass: " + Klasses[K].Name);
+    if (Klasses[K].Super >= K)
+      return Fail("superclass must precede the class (acyclicity): " +
+                  Klasses[K].Name);
+  }
+
+  auto CheckVar = [&](Id Var) { return Var == NoId || Var < NumVars; };
+  for (const Method &M : Methods) {
+    if (M.Klass >= Klasses.size() || M.Sig >= Sigs.size())
+      return Fail("method with out-of-range class or signature");
+    if (!CheckVar(M.ThisVar) || !CheckVar(M.RetVar))
+      return Fail("method with out-of-range variables");
+    for (Id P : M.ParamVars)
+      if (!CheckVar(P))
+        return Fail("method with out-of-range parameter variable");
+  }
+  if (VarMethod.size() != NumVars)
+    return Fail("VarMethod must cover every variable");
+  if (SiteType.size() != NumSites)
+    return Fail("SiteType must cover every allocation site");
+  for (Id T : SiteType)
+    if (T >= Klasses.size())
+      return Fail("allocation site of unknown class");
+
+  for (const AllocStmt &S : Allocs)
+    if (!CheckVar(S.Var) || S.Site >= NumSites)
+      return Fail("malformed allocation");
+  for (const AssignStmt &S : Assigns)
+    if (!CheckVar(S.Dst) || !CheckVar(S.Src))
+      return Fail("malformed assignment");
+  for (const LoadStmt &S : Loads)
+    if (!CheckVar(S.Dst) || !CheckVar(S.Base) || S.Field >= Fields.size())
+      return Fail("malformed load");
+  for (const StoreStmt &S : Stores)
+    if (!CheckVar(S.Base) || !CheckVar(S.Src) || S.Field >= Fields.size())
+      return Fail("malformed store");
+  for (const CallSite &C : Calls) {
+    if (C.Caller >= Methods.size() || C.Sig >= Sigs.size() ||
+        !CheckVar(C.RecvVar) || !CheckVar(C.RetDstVar))
+      return Fail("malformed call site");
+    for (Id A : C.ArgVars)
+      if (!CheckVar(A))
+        return Fail("malformed call argument");
+  }
+  if (EntryMethod >= Methods.size())
+    return Fail("entry method out of range");
+  return true;
+}

@@ -1,0 +1,43 @@
+//===- Diagnostic.cpp - Diagnostic collection for jeddc -------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Diagnostic.h"
+#include "util/StringUtils.h"
+
+using namespace jedd;
+
+static const char *kindName(DiagKind Kind) {
+  switch (Kind) {
+  case DiagKind::Error:
+    return "error";
+  case DiagKind::Warning:
+    return "warning";
+  case DiagKind::Note:
+    return "note";
+  }
+  return "unknown";
+}
+
+std::string DiagnosticEngine::renderAll() const {
+  std::string Result;
+  for (const Diagnostic &D : Diags) {
+    if (D.Loc.isValid())
+      Result += formatLoc(FileName, D.Loc) + ": ";
+    Result += kindName(D.Kind);
+    Result += ": ";
+    Result += D.Message;
+    Result += '\n';
+  }
+  return Result;
+}
+
+bool DiagnosticEngine::containsMessage(const std::string &Needle) const {
+  for (const Diagnostic &D : Diags)
+    if (D.Message.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}

@@ -1,0 +1,17 @@
+//===- Fatal.cpp - Fatal runtime error reporting --------------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/Fatal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void jedd::fatalError(const std::string &Message) {
+  std::fprintf(stderr, "jedd fatal error: %s\n", Message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}

@@ -1,0 +1,35 @@
+//===- Fatal.h - Fatal runtime error reporting ------------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The runtime check mechanism backing Jedd's dynamic type checking:
+/// "properties that cannot be checked statically are enforced by runtime
+/// checks" (Section 1). The project builds without exceptions, so a
+/// failed check reports and aborts, like LLVM's report_fatal_error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_UTIL_FATAL_H
+#define JEDDPP_UTIL_FATAL_H
+
+#include <string>
+
+namespace jedd {
+
+/// Prints "jedd fatal error: <message>" to stderr and aborts.
+[[noreturn]] void fatalError(const std::string &Message);
+
+} // namespace jedd
+
+/// Runtime-enforced invariant; active in all build modes.
+#define JEDD_CHECK(Cond, Message)                                             \
+  do {                                                                        \
+    if (!(Cond))                                                              \
+      ::jedd::fatalError(Message);                                            \
+  } while (false)
+
+#endif // JEDDPP_UTIL_FATAL_H

@@ -1,0 +1,34 @@
+//===- File.cpp - Minimal file reading helpers -----------------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "util/File.h"
+
+#include <cstdio>
+
+bool jedd::readFileToString(const std::string &Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  Out.clear();
+  char Buffer[1 << 14];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Out.append(Buffer, Read);
+  bool Ok = !std::ferror(File);
+  std::fclose(File);
+  return Ok;
+}
+
+bool jedd::writeStringToFile(const std::string &Path,
+                             const std::string &Text) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  std::fclose(File);
+  return Written == Text.size();
+}

@@ -1,0 +1,23 @@
+//===- File.h - Minimal file reading helpers --------------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_UTIL_FILE_H
+#define JEDDPP_UTIL_FILE_H
+
+#include <string>
+
+namespace jedd {
+
+/// Reads a whole file; returns false on I/O failure.
+bool readFileToString(const std::string &Path, std::string &Out);
+
+/// Writes \p Text to \p Path; returns false on I/O failure.
+bool writeStringToFile(const std::string &Path, const std::string &Text);
+
+} // namespace jedd
+
+#endif // JEDDPP_UTIL_FILE_H

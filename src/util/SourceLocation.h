@@ -1,0 +1,47 @@
+//===- SourceLocation.h - Source positions for diagnostics -----*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight line/column positions used by the Jedd front end to report
+/// diagnostics in the paper's "Test.jedd:4,25" format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_UTIL_SOURCELOCATION_H
+#define JEDDPP_UTIL_SOURCELOCATION_H
+
+#include <cstdint>
+#include <string>
+
+namespace jedd {
+
+/// A position within a named source buffer. Line and column are 1-based;
+/// a zero line marks an invalid/unknown location.
+struct SourceLoc {
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  constexpr SourceLoc() = default;
+  constexpr SourceLoc(uint32_t Line, uint32_t Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  friend bool operator==(const SourceLoc &A, const SourceLoc &B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+  friend bool operator!=(const SourceLoc &A, const SourceLoc &B) {
+    return !(A == B);
+  }
+};
+
+/// Formats a location as "file:line,col", matching the error message style
+/// shown in Section 3.3.3 of the paper.
+std::string formatLoc(const std::string &File, SourceLoc Loc);
+
+} // namespace jedd
+
+#endif // JEDDPP_UTIL_SOURCELOCATION_H

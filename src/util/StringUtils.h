@@ -1,0 +1,47 @@
+//===- StringUtils.h - Small string helpers ---------------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// String helpers shared across the project: split/join/trim and a printf
+/// wrapper returning std::string (the project avoids <iostream> in library
+/// code, following the LLVM coding standards).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_UTIL_STRINGUTILS_H
+#define JEDDPP_UTIL_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jedd {
+
+/// Splits \p Text on \p Sep, keeping empty pieces.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// Joins \p Pieces with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Pieces,
+                        std::string_view Sep);
+
+/// printf-style formatting into a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Escapes the characters &, <, > and " for embedding in HTML attribute
+/// and text positions (used by the profiler report writer).
+std::string escapeHtml(std::string_view Text);
+
+} // namespace jedd
+
+#endif // JEDDPP_UTIL_STRINGUTILS_H

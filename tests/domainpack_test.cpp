@@ -1,0 +1,198 @@
+//===- domainpack_test.cpp - Tests for the physical domain layer ----------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/DomainPack.h"
+#include "util/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace jedd;
+using namespace jedd::bdd;
+
+namespace {
+
+TEST(DomainPack, SequentialLayoutAssignsAdjacentBits) {
+  DomainPack Pack(BitOrder::Sequential);
+  PhysDomId A = Pack.addDomain("A", 3);
+  PhysDomId B = Pack.addDomain("B", 2);
+  Pack.finalize();
+  EXPECT_EQ(Pack.vars(A), (std::vector<unsigned>{0, 1, 2}));
+  EXPECT_EQ(Pack.vars(B), (std::vector<unsigned>{3, 4}));
+  EXPECT_EQ(Pack.manager().numVars(), 5u);
+}
+
+TEST(DomainPack, InterleavedLayoutAlignsLowBits) {
+  DomainPack Pack(BitOrder::Interleaved);
+  PhysDomId A = Pack.addDomain("A", 3); // Bits a2 a1 a0 (MSB first).
+  PhysDomId B = Pack.addDomain("B", 2);
+  Pack.finalize();
+  // Round 0: only A (its MSB). Rounds 1,2: A and B.
+  EXPECT_EQ(Pack.vars(A), (std::vector<unsigned>{0, 1, 3}));
+  EXPECT_EQ(Pack.vars(B), (std::vector<unsigned>{2, 4}));
+  // LSB alignment: the last bit of A and B sit in the same round.
+}
+
+TEST(DomainPack, EncodeDecodeRoundTrip) {
+  for (BitOrder Order : {BitOrder::Sequential, BitOrder::Interleaved}) {
+    DomainPack Pack(Order);
+    PhysDomId A = Pack.addDomain("A", 4);
+    PhysDomId B = Pack.addDomain("B", 3);
+    Pack.finalize();
+    Manager &Mgr = Pack.manager();
+
+    Bdd Tuple = Pack.encode(A, 11) & Pack.encode(B, 5);
+    EXPECT_DOUBLE_EQ(Mgr.satCount(Tuple), 1.0); // Fully constrained.
+
+    std::vector<unsigned> Vars = Pack.sortedVars({A, B});
+    int Seen = 0;
+    Mgr.enumerate(Tuple, Vars, [&](const std::vector<bool> &Bits) {
+      EXPECT_EQ(Pack.decodeValue(A, {A, B}, Bits), 11u);
+      EXPECT_EQ(Pack.decodeValue(B, {A, B}, Bits), 5u);
+      ++Seen;
+      return true;
+    });
+    EXPECT_EQ(Seen, 1);
+  }
+}
+
+TEST(DomainPack, SingleTupleNodeCountEqualsBits) {
+  // Paper, Section 3.2.1: "the number of nodes in a BDD for a single
+  // tuple always equals the total number of bits in the physical domains
+  // used to encode the attributes."
+  DomainPack Pack(BitOrder::Interleaved);
+  PhysDomId A = Pack.addDomain("A", 5);
+  PhysDomId B = Pack.addDomain("B", 7);
+  Pack.addDomain("Unused", 4);
+  Pack.finalize();
+  Bdd Tuple = Pack.encode(A, 19) & Pack.encode(B, 100);
+  EXPECT_EQ(Pack.manager().nodeCount(Tuple), 12u);
+}
+
+TEST(DomainPack, EncodeLess) {
+  DomainPack Pack;
+  PhysDomId A = Pack.addDomain("A", 4);
+  Pack.finalize();
+  Manager &Mgr = Pack.manager();
+  for (uint64_t Bound : {0ull, 1ull, 5ull, 11ull, 15ull, 16ull, 99ull}) {
+    Bdd Less = Pack.encodeLess(A, Bound);
+    double Expected = static_cast<double>(std::min<uint64_t>(Bound, 16));
+    EXPECT_DOUBLE_EQ(Mgr.satCount(Less), Expected) << "bound " << Bound;
+    // Spot-check membership.
+    for (uint64_t Value = 0; Value != 16; ++Value) {
+      bool Member = !(Pack.encode(A, Value) & Less).isFalse();
+      EXPECT_EQ(Member, Value < Bound);
+    }
+  }
+}
+
+TEST(DomainPack, EqualRelatesIdenticalValues) {
+  DomainPack Pack;
+  PhysDomId A = Pack.addDomain("A", 3);
+  PhysDomId B = Pack.addDomain("B", 3);
+  Pack.finalize();
+  Manager &Mgr = Pack.manager();
+  Bdd Eq = Pack.equal(A, B);
+  EXPECT_DOUBLE_EQ(Mgr.satCount(Eq), 8.0); // 8 equal pairs.
+  for (uint64_t X = 0; X != 8; ++X)
+    for (uint64_t Y = 0; Y != 8; ++Y) {
+      bool Member = !(Pack.encode(A, X) & Pack.encode(B, Y) & Eq).isFalse();
+      EXPECT_EQ(Member, X == Y);
+    }
+}
+
+TEST(DomainPack, EqualAcrossWidthsZeroesHighBits) {
+  DomainPack Pack;
+  PhysDomId Wide = Pack.addDomain("Wide", 4);
+  PhysDomId Narrow = Pack.addDomain("Narrow", 2);
+  Pack.finalize();
+  Manager &Mgr = Pack.manager();
+  Bdd Eq = Pack.equal(Wide, Narrow);
+  EXPECT_DOUBLE_EQ(Mgr.satCount(Eq), 4.0);
+  EXPECT_TRUE((Pack.encode(Wide, 5) & Eq & Pack.encode(Narrow, 1)).isFalse());
+  EXPECT_FALSE((Pack.encode(Wide, 1) & Eq & Pack.encode(Narrow, 1)).isFalse());
+}
+
+TEST(DomainPack, ReplaceMovesValuesBetweenDomains) {
+  for (BitOrder Order : {BitOrder::Sequential, BitOrder::Interleaved}) {
+    DomainPack Pack(Order);
+    PhysDomId A = Pack.addDomain("A", 3);
+    PhysDomId B = Pack.addDomain("B", 3);
+    Pack.finalize();
+    Bdd F = Pack.encode(A, 6);
+    Bdd Moved = Pack.replaceDomains(F, {{A, B}});
+    EXPECT_EQ(Moved, Pack.encode(B, 6));
+  }
+}
+
+TEST(DomainPack, ReplaceSwapsDomains) {
+  for (BitOrder Order : {BitOrder::Sequential, BitOrder::Interleaved}) {
+    DomainPack Pack(Order);
+    PhysDomId A = Pack.addDomain("A", 3);
+    PhysDomId B = Pack.addDomain("B", 3);
+    Pack.finalize();
+    Bdd F = Pack.encode(A, 2) & Pack.encode(B, 7);
+    Bdd Swapped = Pack.replaceDomains(F, {{A, B}, {B, A}});
+    EXPECT_EQ(Swapped, Pack.encode(A, 7) & Pack.encode(B, 2));
+  }
+}
+
+TEST(DomainPack, ReplaceWideningConstrainsNewHighBits) {
+  DomainPack Pack;
+  PhysDomId Narrow = Pack.addDomain("Narrow", 2);
+  PhysDomId Wide = Pack.addDomain("Wide", 4);
+  Pack.finalize();
+  Bdd F = Pack.encode(Narrow, 3);
+  Bdd Moved = Pack.replaceDomains(F, {{Narrow, Wide}});
+  EXPECT_EQ(Moved, Pack.encode(Wide, 3));
+  EXPECT_DOUBLE_EQ(Pack.manager().satCount(Moved),
+                   Pack.manager().satCount(Pack.encode(Wide, 3)));
+}
+
+TEST(DomainPack, ReplaceNarrowingKeepsSmallValues) {
+  DomainPack Pack;
+  PhysDomId Wide = Pack.addDomain("Wide", 4);
+  PhysDomId Narrow = Pack.addDomain("Narrow", 2);
+  Pack.finalize();
+  Bdd F = Pack.encode(Wide, 3); // Fits in 2 bits.
+  Bdd Moved = Pack.replaceDomains(F, {{Wide, Narrow}});
+  EXPECT_EQ(Moved, Pack.encode(Narrow, 3));
+}
+
+TEST(DomainPack, ReplaceRandomizedRelationRoundTrip) {
+  SplitMix64 Rng(2024);
+  DomainPack Pack(BitOrder::Interleaved);
+  PhysDomId A = Pack.addDomain("A", 4);
+  PhysDomId B = Pack.addDomain("B", 4);
+  PhysDomId C = Pack.addDomain("C", 4);
+  Pack.finalize();
+  Manager &Mgr = Pack.manager();
+
+  // A random binary relation over (A, B).
+  std::set<std::pair<uint64_t, uint64_t>> Pairs;
+  Bdd Rel = Mgr.falseBdd();
+  for (int I = 0; I != 25; ++I) {
+    uint64_t X = Rng.nextBelow(16), Y = Rng.nextBelow(16);
+    Pairs.insert({X, Y});
+    Rel = Rel | (Pack.encode(A, X) & Pack.encode(B, Y));
+  }
+  EXPECT_DOUBLE_EQ(Mgr.satCount(Rel) / (1 << 4),
+                   static_cast<double>(Pairs.size()));
+
+  // Move B -> C, then C -> B: must be the identity.
+  Bdd Moved = Pack.replaceDomains(Rel, {{B, C}});
+  Bdd Back = Pack.replaceDomains(Moved, {{C, B}});
+  EXPECT_EQ(Back, Rel);
+
+  // And a full swap there and back.
+  Bdd Swapped = Pack.replaceDomains(Rel, {{A, B}, {B, A}});
+  Bdd SwappedBack = Pack.replaceDomains(Swapped, {{A, B}, {B, A}});
+  EXPECT_EQ(SwappedBack, Rel);
+}
+
+} // namespace

@@ -1,0 +1,109 @@
+//===- profiler_test.cpp - Tests for the operation profiler ---------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiler/Profiler.h"
+#include "util/File.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace jedd;
+using namespace jedd::prof;
+
+namespace {
+
+OpRecord makeRecord(const char *Kind, const char *Site, uint64_t Micros,
+                    size_t ResultNodes) {
+  OpRecord R;
+  R.OpKind = Kind;
+  R.Site = Site;
+  R.Micros = Micros;
+  R.ResultNodes = ResultNodes;
+  R.ResultTuples = static_cast<double>(ResultNodes) * 2;
+  R.ResultShape = {1, 2, ResultNodes > 3 ? ResultNodes - 3 : 0};
+  return R;
+}
+
+TEST(Profiler, SummarizesByKindAndSite) {
+  Profiler P;
+  P.record(makeRecord("join", "a", 10, 5));
+  P.record(makeRecord("join", "a", 30, 9));
+  P.record(makeRecord("join", "b", 5, 2));
+  P.record(makeRecord("replace", "a", 100, 1));
+
+  auto Summary = P.summarize();
+  ASSERT_EQ(Summary.size(), 3u);
+  // Sorted by total time descending: replace@a (100), join@a (40),
+  // join@b (5).
+  EXPECT_EQ(Summary[0].OpKind, "replace");
+  EXPECT_EQ(Summary[0].TotalMicros, 100u);
+  EXPECT_EQ(Summary[1].OpKind, "join");
+  EXPECT_EQ(Summary[1].Site, "a");
+  EXPECT_EQ(Summary[1].Count, 2u);
+  EXPECT_EQ(Summary[1].TotalMicros, 40u);
+  EXPECT_EQ(Summary[1].MaxResultNodes, 9u);
+  EXPECT_EQ(Summary[2].Site, "b");
+}
+
+TEST(Profiler, DeterministicTieBreak) {
+  Profiler P;
+  P.record(makeRecord("a-op", "z", 10, 1));
+  P.record(makeRecord("b-op", "y", 10, 1));
+  auto Summary = P.summarize();
+  ASSERT_EQ(Summary.size(), 2u);
+  EXPECT_EQ(Summary[0].OpKind, "a-op"); // Lexicographic on ties.
+}
+
+TEST(Profiler, HtmlContainsAllThreeViews) {
+  Profiler P;
+  P.record(makeRecord("compose", "pt:copy", 42, 17));
+  std::string Html = P.renderHtml();
+  // Overall view, detail view, shape charts (Section 4.3).
+  EXPECT_NE(Html.find("Summary by operation"), std::string::npos);
+  EXPECT_NE(Html.find("Individual executions"), std::string::npos);
+  EXPECT_NE(Html.find("Shapes of the largest results"), std::string::npos);
+  EXPECT_NE(Html.find("compose"), std::string::npos);
+  EXPECT_NE(Html.find("pt:copy"), std::string::npos);
+  EXPECT_NE(Html.find("<svg"), std::string::npos);
+}
+
+TEST(Profiler, HtmlEscapesSiteLabels) {
+  Profiler P;
+  P.record(makeRecord("join", "<script>alert(1)</script>", 1, 1));
+  std::string Html = P.renderHtml();
+  EXPECT_EQ(Html.find("<script>alert"), std::string::npos);
+  EXPECT_NE(Html.find("&lt;script&gt;"), std::string::npos);
+}
+
+TEST(Profiler, WritesReportToDisk) {
+  Profiler P;
+  P.record(makeRecord("union", "x", 7, 3));
+  std::string Path = ::testing::TempDir() + "/jeddpp_profile_test.html";
+  ASSERT_TRUE(P.writeHtml(Path));
+  std::string Text;
+  ASSERT_TRUE(readFileToString(Path, Text));
+  EXPECT_EQ(Text, P.renderHtml());
+  std::remove(Path.c_str());
+}
+
+TEST(Profiler, ClearResets) {
+  Profiler P;
+  P.record(makeRecord("join", "a", 1, 1));
+  EXPECT_EQ(P.records().size(), 1u);
+  P.clear();
+  EXPECT_TRUE(P.records().empty());
+  EXPECT_TRUE(P.summarize().empty());
+}
+
+TEST(Profiler, EmptyProfileRendersCleanly) {
+  Profiler P;
+  std::string Html = P.renderHtml();
+  EXPECT_NE(Html.find("Jedd operation profile"), std::string::npos);
+}
+
+} // namespace

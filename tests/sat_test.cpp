@@ -1,0 +1,283 @@
+//===- sat_test.cpp - Unit and property tests for the SAT solver ----------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/CoreTools.h"
+#include "sat/Solver.h"
+#include "util/Random.h"
+
+#include <gtest/gtest.h>
+
+using namespace jedd;
+using namespace jedd::sat;
+
+namespace {
+
+CnfFormula makeFormula(unsigned NumVars,
+                       std::vector<std::vector<int>> Clauses) {
+  // Convenience: signed DIMACS-style literals (1-based, negative = neg).
+  CnfFormula F;
+  F.NumVars = NumVars;
+  for (auto &C : Clauses) {
+    std::vector<Lit> Lits;
+    for (int L : C) {
+      assert(L != 0);
+      Lits.push_back(mkLit(static_cast<Var>(std::abs(L) - 1), L < 0));
+    }
+    F.addClause(std::move(Lits));
+  }
+  return F;
+}
+
+Result solveFormula(const CnfFormula &F, std::vector<bool> *Model = nullptr,
+                    std::vector<uint32_t> *Core = nullptr) {
+  Solver S;
+  S.addFormula(F);
+  Result R = S.solve();
+  if (R == Result::Sat && Model)
+    *Model = S.model();
+  if (R == Result::Unsat && Core)
+    *Core = S.unsatCore();
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Basic satisfiable / unsatisfiable instances
+//===----------------------------------------------------------------------===//
+
+TEST(SatBasics, EmptyFormulaIsSat) {
+  CnfFormula F = makeFormula(3, {});
+  EXPECT_EQ(solveFormula(F), Result::Sat);
+}
+
+TEST(SatBasics, SingleUnit) {
+  CnfFormula F = makeFormula(1, {{1}});
+  std::vector<bool> Model;
+  ASSERT_EQ(solveFormula(F, &Model), Result::Sat);
+  EXPECT_TRUE(Model[0]);
+}
+
+TEST(SatBasics, ContradictoryUnits) {
+  CnfFormula F = makeFormula(1, {{1}, {-1}});
+  std::vector<uint32_t> Core;
+  ASSERT_EQ(solveFormula(F, nullptr, &Core), Result::Unsat);
+  EXPECT_EQ(Core, (std::vector<uint32_t>{0, 1}));
+  EXPECT_TRUE(verifyCore(F, Core));
+}
+
+TEST(SatBasics, EmptyClauseIsUnsat) {
+  CnfFormula F = makeFormula(2, {{1, 2}});
+  F.addClause({});
+  std::vector<uint32_t> Core;
+  ASSERT_EQ(solveFormula(F, nullptr, &Core), Result::Unsat);
+  EXPECT_EQ(Core, (std::vector<uint32_t>{1}));
+}
+
+TEST(SatBasics, ImplicationChain) {
+  // x1 and x1->x2->...->x5, plus a final clause requiring x5.
+  CnfFormula F = makeFormula(
+      5, {{1}, {-1, 2}, {-2, 3}, {-3, 4}, {-4, 5}, {5}});
+  std::vector<bool> Model;
+  ASSERT_EQ(solveFormula(F, &Model), Result::Sat);
+  for (int V = 0; V != 5; ++V)
+    EXPECT_TRUE(Model[V]);
+}
+
+TEST(SatBasics, ChainWithContradictionIsUnsat) {
+  CnfFormula F =
+      makeFormula(4, {{1}, {-1, 2}, {-2, 3}, {-3, 4}, {-4, -1}});
+  std::vector<uint32_t> Core;
+  ASSERT_EQ(solveFormula(F, nullptr, &Core), Result::Unsat);
+  EXPECT_TRUE(verifyCore(F, Core));
+  // The whole chain is needed.
+  EXPECT_EQ(minimizeCore(F, Core).size(), 5u);
+}
+
+TEST(SatBasics, TautologyClausesAreHarmless) {
+  CnfFormula F = makeFormula(2, {{1, -1}, {2}, {1, 2, -1}});
+  std::vector<bool> Model;
+  ASSERT_EQ(solveFormula(F, &Model), Result::Sat);
+  EXPECT_TRUE(Model[1]);
+}
+
+TEST(SatBasics, DuplicateLiteralsAreDeduplicated) {
+  CnfFormula F = makeFormula(2, {{1, 1, 1}, {-1, 2, 2}});
+  std::vector<bool> Model;
+  ASSERT_EQ(solveFormula(F, &Model), Result::Sat);
+  EXPECT_TRUE(Model[0]);
+  EXPECT_TRUE(Model[1]);
+}
+
+TEST(SatBasics, ModelSatisfiesFormula) {
+  CnfFormula F = makeFormula(6, {{1, 2, 3},
+                                 {-1, -2},
+                                 {-2, -3},
+                                 {-1, -3},
+                                 {4, 5},
+                                 {-4, 6},
+                                 {-5, 6},
+                                 {-6, 1, 2}});
+  std::vector<bool> Model;
+  ASSERT_EQ(solveFormula(F, &Model), Result::Sat);
+  EXPECT_TRUE(checkModel(F, Model));
+}
+
+//===----------------------------------------------------------------------===//
+// Pigeonhole: classic small unsat family with nontrivial cores
+//===----------------------------------------------------------------------===//
+
+/// PHP(N): N+1 pigeons into N holes. Variable p*N + h means pigeon p sits
+/// in hole h.
+CnfFormula pigeonhole(unsigned N) {
+  CnfFormula F;
+  F.NumVars = (N + 1) * N;
+  for (unsigned P = 0; P != N + 1; ++P) {
+    std::vector<Lit> AtLeastOne;
+    for (unsigned H = 0; H != N; ++H)
+      AtLeastOne.push_back(mkLit(P * N + H));
+    F.addClause(AtLeastOne);
+  }
+  for (unsigned H = 0; H != N; ++H)
+    for (unsigned P1 = 0; P1 != N + 1; ++P1)
+      for (unsigned P2 = P1 + 1; P2 != N + 1; ++P2)
+        F.addClause({mkLit(P1 * N + H, true), mkLit(P2 * N + H, true)});
+  return F;
+}
+
+class PigeonholeTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PigeonholeTest, IsUnsatWithVerifiableCore) {
+  CnfFormula F = pigeonhole(GetParam());
+  std::vector<uint32_t> Core;
+  ASSERT_EQ(solveFormula(F, nullptr, &Core), Result::Unsat);
+  EXPECT_FALSE(Core.empty());
+  EXPECT_TRUE(verifyCore(F, Core));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PigeonholeTest, ::testing::Values(2, 3, 4, 5));
+
+TEST(SatCore, MinimizedCoreIsMinimal) {
+  CnfFormula F = pigeonhole(3);
+  // Add satisfiable padding clauses that must not appear in the core.
+  unsigned Pad = F.NumVars;
+  F.NumVars += 2;
+  F.addClause({mkLit(Pad), mkLit(Pad + 1)});
+  F.addClause({mkLit(Pad, true), mkLit(Pad + 1)});
+
+  std::vector<uint32_t> Core;
+  ASSERT_EQ(solveFormula(F, nullptr, &Core), Result::Unsat);
+  std::vector<uint32_t> Minimal = minimizeCore(F, Core);
+  EXPECT_TRUE(verifyCore(F, Minimal));
+  EXPECT_LE(Minimal.size(), Core.size());
+  // Dropping any single clause of a minimal core makes it satisfiable.
+  for (size_t I = 0; I != Minimal.size(); ++I) {
+    std::vector<uint32_t> Sub;
+    for (size_t K = 0; K != Minimal.size(); ++K)
+      if (K != I)
+        Sub.push_back(Minimal[K]);
+    EXPECT_FALSE(verifyCore(F, Sub));
+  }
+  // Padding never shows up.
+  for (uint32_t Id : Minimal)
+    EXPECT_LT(Id, F.Clauses.size() - 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Differential testing against the DPLL oracle
+//===----------------------------------------------------------------------===//
+
+CnfFormula randomThreeSat(SplitMix64 &Rng, unsigned NumVars,
+                          unsigned NumClauses) {
+  CnfFormula F;
+  F.NumVars = NumVars;
+  for (unsigned I = 0; I != NumClauses; ++I) {
+    std::vector<Lit> C;
+    for (int K = 0; K != 3; ++K)
+      C.push_back(mkLit(static_cast<Var>(Rng.nextBelow(NumVars)),
+                        Rng.nextChance(1, 2)));
+    F.addClause(std::move(C));
+  }
+  return F;
+}
+
+class RandomSatTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSatTest, CdclAgreesWithDpll) {
+  SplitMix64 Rng(GetParam());
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    // Around the phase transition ratio 4.3 so both outcomes occur.
+    unsigned NumVars = 12 + Rng.nextBelow(8);
+    unsigned NumClauses = static_cast<unsigned>(NumVars * 4.3);
+    CnfFormula F = randomThreeSat(Rng, NumVars, NumClauses);
+
+    DpllSolver Oracle(F);
+    Result Expected = Oracle.solve();
+
+    Solver S;
+    S.addFormula(F);
+    Result Actual = S.solve();
+    ASSERT_EQ(Actual, Expected);
+    if (Actual == Result::Sat) {
+      EXPECT_TRUE(checkModel(F, S.model()));
+    } else {
+      EXPECT_TRUE(verifyCore(F, S.unsatCore()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSatTest,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107,
+                                           108, 109, 110));
+
+//===----------------------------------------------------------------------===//
+// DIMACS round trip
+//===----------------------------------------------------------------------===//
+
+TEST(Dimacs, RoundTrip) {
+  CnfFormula F = makeFormula(4, {{1, -2}, {3, 4, -1}, {2}});
+  std::string Text = toDimacs(F);
+  CnfFormula G;
+  std::string Error;
+  ASSERT_TRUE(parseDimacs(Text, G, Error)) << Error;
+  EXPECT_EQ(G.NumVars, F.NumVars);
+  ASSERT_EQ(G.Clauses.size(), F.Clauses.size());
+  for (size_t I = 0; I != F.Clauses.size(); ++I)
+    EXPECT_EQ(G.Clauses[I], F.Clauses[I]);
+}
+
+TEST(Dimacs, ParsesCommentsAndBlankLines) {
+  std::string Text = "c a comment\n\np cnf 2 2\n1 -2 0\nc mid\n2 0\n";
+  CnfFormula F;
+  std::string Error;
+  ASSERT_TRUE(parseDimacs(Text, F, Error)) << Error;
+  EXPECT_EQ(F.NumVars, 2u);
+  EXPECT_EQ(F.Clauses.size(), 2u);
+}
+
+TEST(Dimacs, RejectsMalformedInput) {
+  CnfFormula F;
+  std::string Error;
+  EXPECT_FALSE(parseDimacs("1 2 0\n", F, Error));
+  EXPECT_FALSE(parseDimacs("p cnf 1 1\n2 0\n", F, Error));
+  EXPECT_FALSE(parseDimacs("p cnf 1 2\n1 0\n", F, Error));
+  EXPECT_FALSE(parseDimacs("p cnf 1 1\n1\n", F, Error));
+}
+
+//===----------------------------------------------------------------------===//
+// Solver statistics sanity
+//===----------------------------------------------------------------------===//
+
+TEST(SatStats, CountsActivity) {
+  SplitMix64 Rng(77);
+  CnfFormula F = randomThreeSat(Rng, 30, 120);
+  Solver S;
+  S.addFormula(F);
+  S.solve();
+  EXPECT_GT(S.stats().Propagations, 0u);
+  EXPECT_GT(S.stats().Decisions, 0u);
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- soot_test.cpp - Tests for the program model and generator ----------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "soot/FactsIO.h"
+#include "soot/Generator.h"
+
+#include <gtest/gtest.h>
+
+using namespace jedd;
+using namespace jedd::soot;
+
+namespace {
+
+/// The paper's running example: class B extends A; A implements foo(),
+/// B implements bar().
+Program figure4Program() {
+  Program P;
+  P.Klasses.push_back({"A", NoId});
+  P.Klasses.push_back({"B", 0});
+  P.Sigs.push_back({"foo()"});
+  P.Sigs.push_back({"bar()"});
+  P.Methods.push_back({/*Klass=*/0, /*Sig=*/0, NoId, {}, NoId}); // A.foo().
+  P.Methods.push_back({/*Klass=*/1, /*Sig=*/1, NoId, {}, NoId}); // B.bar().
+  return P;
+}
+
+TEST(SootModel, ResolveVirtualWalksTheHierarchy) {
+  Program P = figure4Program();
+  // B.foo() resolves to A.foo(); B.bar() to B.bar(); A.bar() is absent.
+  EXPECT_EQ(P.resolveVirtual(1, 0), 0u);
+  EXPECT_EQ(P.resolveVirtual(1, 1), 1u);
+  EXPECT_EQ(P.resolveVirtual(0, 0), 0u);
+  EXPECT_EQ(P.resolveVirtual(0, 1), NoId);
+}
+
+TEST(SootModel, DeclaredMethodDoesNotWalk) {
+  Program P = figure4Program();
+  EXPECT_EQ(P.declaredMethod(1, 0), NoId); // B does not declare foo().
+  EXPECT_EQ(P.declaredMethod(0, 0), 0u);
+}
+
+TEST(SootModel, ValidateCatchesBrokenPrograms) {
+  std::string Error;
+  Program Empty;
+  EXPECT_FALSE(Empty.validate(Error));
+
+  Program P = figure4Program();
+  P.VarMethod.resize(P.NumVars); // Trivially consistent.
+  EXPECT_TRUE(P.validate(Error)) << Error;
+
+  Program Cyclic = P;
+  Cyclic.Klasses[1].Super = 1; // Self-extend.
+  EXPECT_FALSE(Cyclic.validate(Error));
+
+  Program BadAlloc = P;
+  BadAlloc.Allocs.push_back({0, 5}); // No variables/sites exist.
+  EXPECT_FALSE(BadAlloc.validate(Error));
+}
+
+TEST(SootGenerator, ProducesValidPrograms) {
+  for (uint64_t Seed : {1, 2, 3}) {
+    GeneratorParams Params;
+    Params.Seed = Seed;
+    Program P = generateProgram(Params);
+    std::string Error;
+    EXPECT_TRUE(P.validate(Error)) << Error;
+    EXPECT_EQ(P.Klasses.size(), Params.NumClasses);
+    EXPECT_GE(P.Methods.size(), Params.NumSignatures); // Root implements all.
+    EXPECT_GT(P.NumVars, 0u);
+    EXPECT_GT(P.Calls.size(), 0u);
+  }
+}
+
+TEST(SootGenerator, IsDeterministic) {
+  GeneratorParams Params;
+  Params.Seed = 42;
+  Program A = generateProgram(Params);
+  Program B = generateProgram(Params);
+  EXPECT_EQ(A.NumVars, B.NumVars);
+  EXPECT_EQ(A.NumSites, B.NumSites);
+  ASSERT_EQ(A.Assigns.size(), B.Assigns.size());
+  for (size_t I = 0; I != A.Assigns.size(); ++I) {
+    EXPECT_EQ(A.Assigns[I].Dst, B.Assigns[I].Dst);
+    EXPECT_EQ(A.Assigns[I].Src, B.Assigns[I].Src);
+  }
+}
+
+TEST(SootGenerator, RootImplementsEverySignature) {
+  GeneratorParams Params;
+  Program P = generateProgram(Params);
+  for (size_t S = 0; S != P.Sigs.size(); ++S)
+    EXPECT_NE(P.declaredMethod(0, static_cast<Id>(S)), NoId);
+  // Hence resolution from any class always succeeds.
+  for (size_t K = 0; K != P.Klasses.size(); ++K)
+    EXPECT_NE(P.resolveVirtual(static_cast<Id>(K), 0), NoId);
+}
+
+TEST(SootGenerator, PresetsScaleMonotonically) {
+  size_t LastMethods = 0;
+  for (const std::string &Name : table2Benchmarks()) {
+    Program P = generateProgram(benchmarkPreset(Name));
+    EXPECT_GT(P.Methods.size(), LastMethods)
+        << Name << " should be larger than its predecessor";
+    LastMethods = P.Methods.size();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Facts text format
+//===----------------------------------------------------------------------===//
+
+TEST(FactsIo, RoundTripsGeneratedPrograms) {
+  GeneratorParams Params;
+  Params.NumClasses = 8;
+  Params.NumSignatures = 5;
+  Params.Seed = 9;
+  Program P = generateProgram(Params);
+
+  std::string Text = writeFacts(P);
+  Program Q;
+  std::string Error;
+  ASSERT_TRUE(parseFacts(Text, Q, Error)) << Error;
+
+  EXPECT_EQ(Q.Klasses.size(), P.Klasses.size());
+  EXPECT_EQ(Q.NumVars, P.NumVars);
+  EXPECT_EQ(Q.NumSites, P.NumSites);
+  EXPECT_EQ(Q.EntryMethod, P.EntryMethod);
+  ASSERT_EQ(Q.Calls.size(), P.Calls.size());
+  for (size_t I = 0; I != P.Calls.size(); ++I) {
+    EXPECT_EQ(Q.Calls[I].RecvVar, P.Calls[I].RecvVar);
+    EXPECT_EQ(Q.Calls[I].ArgVars, P.Calls[I].ArgVars);
+    EXPECT_EQ(Q.Calls[I].RetDstVar, P.Calls[I].RetDstVar);
+  }
+  // Byte-exact round trip of the serialized form.
+  EXPECT_EQ(writeFacts(Q), Text);
+}
+
+TEST(FactsIo, ParsesHandWrittenFacts) {
+  const char *Text = R"(# tiny program
+class A
+class B extends A
+sig m0()
+field f
+method 0 0 this=0 params=- ret=1
+entry 0
+var 0 method=0
+var 1 method=0
+site 0 type=1
+alloc v=0 site=0
+assign dst=1 src=0
+store base=0 field=0 src=1
+load dst=1 base=0 field=0
+call caller=0 sig=0 recv=0 args=- ret=1
+)";
+  Program P;
+  std::string Error;
+  ASSERT_TRUE(parseFacts(Text, P, Error)) << Error;
+  EXPECT_EQ(P.Klasses.size(), 2u);
+  EXPECT_EQ(P.Klasses[1].Super, 0u);
+  EXPECT_EQ(P.NumVars, 2u);
+  EXPECT_EQ(P.Calls.size(), 1u);
+  EXPECT_EQ(P.Methods[0].RetVar, 1u);
+  EXPECT_TRUE(P.Methods[0].ParamVars.empty());
+}
+
+TEST(FactsIo, ReportsMalformedInput) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(parseFacts("bogus line\n", P, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+  EXPECT_FALSE(parseFacts("class B extends Missing\n", P, Error));
+  EXPECT_FALSE(parseFacts("class A\nvar 5 method=0\n", P, Error));
+  // Valid syntax but fails validation (alloc over undeclared site).
+  EXPECT_FALSE(parseFacts(
+      "class A\nsig s\nmethod 0 0 this=- params=- ret=-\n"
+      "var 0 method=0\nalloc v=0 site=3\n",
+      P, Error));
+  EXPECT_NE(Error.find("validation"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdd_ops.dir/bdd_ops.cpp.o"
+  "CMakeFiles/bdd_ops.dir/bdd_ops.cpp.o.d"
+  "bdd_ops"
+  "bdd_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdd_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replace_elimination.dir/replace_elimination.cpp.o"
+  "CMakeFiles/replace_elimination.dir/replace_elimination.cpp.o.d"
+  "replace_elimination"
+  "replace_elimination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replace_elimination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sat_solver.dir/sat_solver.cpp.o"
+  "CMakeFiles/sat_solver.dir/sat_solver.cpp.o.d"
+  "sat_solver"
+  "sat_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sat_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

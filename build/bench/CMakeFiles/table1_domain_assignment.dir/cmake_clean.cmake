@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_domain_assignment.dir/table1_domain_assignment.cpp.o"
+  "CMakeFiles/table1_domain_assignment.dir/table1_domain_assignment.cpp.o.d"
+  "table1_domain_assignment"
+  "table1_domain_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_domain_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_points_to.dir/table2_points_to.cpp.o"
+  "CMakeFiles/table2_points_to.dir/table2_points_to.cpp.o.d"
+  "table2_points_to"
+  "table2_points_to.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_points_to.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_loc.dir/table3_loc.cpp.o"
+  "CMakeFiles/table3_loc.dir/table3_loc.cpp.o.d"
+  "table3_loc"
+  "table3_loc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_loc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

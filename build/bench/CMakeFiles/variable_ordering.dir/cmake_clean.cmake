@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variable_ordering.dir/variable_ordering.cpp.o"
+  "CMakeFiles/variable_ordering.dir/variable_ordering.cpp.o.d"
+  "variable_ordering"
+  "variable_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variable_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/zdd_vs_bdd.cpp" "bench/CMakeFiles/zdd_vs_bdd.dir/zdd_vs_bdd.cpp.o" "gcc" "bench/CMakeFiles/zdd_vs_bdd.dir/zdd_vs_bdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdd/CMakeFiles/jedd_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/soot/CMakeFiles/jedd_soot.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jedd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

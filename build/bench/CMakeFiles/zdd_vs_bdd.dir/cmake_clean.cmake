@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdd_vs_bdd.dir/zdd_vs_bdd.cpp.o"
+  "CMakeFiles/zdd_vs_bdd.dir/zdd_vs_bdd.cpp.o.d"
+  "zdd_vs_bdd"
+  "zdd_vs_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdd_vs_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

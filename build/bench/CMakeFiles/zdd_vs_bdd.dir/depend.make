@@ -1,0 +1,2 @@
+# Empty dependencies file for zdd_vs_bdd.
+# This may be replaced when dependencies are built.

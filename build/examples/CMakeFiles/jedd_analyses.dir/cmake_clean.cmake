@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_analyses.dir/jedd_analyses.cpp.o"
+  "CMakeFiles/jedd_analyses.dir/jedd_analyses.cpp.o.d"
+  "jedd_analyses"
+  "jedd_analyses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_analyses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jedd_analyses.
+# This may be replaced when dependencies are built.

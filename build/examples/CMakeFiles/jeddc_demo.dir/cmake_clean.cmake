@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jeddc_demo.dir/jeddc_demo.cpp.o"
+  "CMakeFiles/jeddc_demo.dir/jeddc_demo.cpp.o.d"
+  "jeddc_demo"
+  "jeddc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jeddc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/virtual_call_resolution.cpp" "examples/CMakeFiles/virtual_call_resolution.dir/virtual_call_resolution.cpp.o" "gcc" "examples/CMakeFiles/virtual_call_resolution.dir/virtual_call_resolution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rel/CMakeFiles/jedd_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/jedd_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/jedd_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jedd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_call_resolution.dir/virtual_call_resolution.cpp.o"
+  "CMakeFiles/virtual_call_resolution.dir/virtual_call_resolution.cpp.o.d"
+  "virtual_call_resolution"
+  "virtual_call_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_call_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

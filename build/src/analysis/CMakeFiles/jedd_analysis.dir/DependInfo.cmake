@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Analyses.cpp" "src/analysis/CMakeFiles/jedd_analysis.dir/Analyses.cpp.o" "gcc" "src/analysis/CMakeFiles/jedd_analysis.dir/Analyses.cpp.o.d"
+  "/root/repo/src/analysis/Baselines.cpp" "src/analysis/CMakeFiles/jedd_analysis.dir/Baselines.cpp.o" "gcc" "src/analysis/CMakeFiles/jedd_analysis.dir/Baselines.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rel/CMakeFiles/jedd_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/soot/CMakeFiles/jedd_soot.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/jedd_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/jedd_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jedd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

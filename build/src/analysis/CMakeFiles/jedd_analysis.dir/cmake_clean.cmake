@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_analysis.dir/Analyses.cpp.o"
+  "CMakeFiles/jedd_analysis.dir/Analyses.cpp.o.d"
+  "CMakeFiles/jedd_analysis.dir/Baselines.cpp.o"
+  "CMakeFiles/jedd_analysis.dir/Baselines.cpp.o.d"
+  "libjedd_analysis.a"
+  "libjedd_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdd/BddManager.cpp" "src/bdd/CMakeFiles/jedd_bdd.dir/BddManager.cpp.o" "gcc" "src/bdd/CMakeFiles/jedd_bdd.dir/BddManager.cpp.o.d"
+  "/root/repo/src/bdd/DomainPack.cpp" "src/bdd/CMakeFiles/jedd_bdd.dir/DomainPack.cpp.o" "gcc" "src/bdd/CMakeFiles/jedd_bdd.dir/DomainPack.cpp.o.d"
+  "/root/repo/src/bdd/Zdd.cpp" "src/bdd/CMakeFiles/jedd_bdd.dir/Zdd.cpp.o" "gcc" "src/bdd/CMakeFiles/jedd_bdd.dir/Zdd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jedd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_bdd.dir/BddManager.cpp.o"
+  "CMakeFiles/jedd_bdd.dir/BddManager.cpp.o.d"
+  "CMakeFiles/jedd_bdd.dir/DomainPack.cpp.o"
+  "CMakeFiles/jedd_bdd.dir/DomainPack.cpp.o.d"
+  "CMakeFiles/jedd_bdd.dir/Zdd.cpp.o"
+  "CMakeFiles/jedd_bdd.dir/Zdd.cpp.o.d"
+  "libjedd_bdd.a"
+  "libjedd_bdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_bdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

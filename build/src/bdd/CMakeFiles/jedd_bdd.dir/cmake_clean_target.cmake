@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjedd_bdd.a"
+)

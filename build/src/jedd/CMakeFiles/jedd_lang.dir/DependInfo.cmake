@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jedd/Assign.cpp" "src/jedd/CMakeFiles/jedd_lang.dir/Assign.cpp.o" "gcc" "src/jedd/CMakeFiles/jedd_lang.dir/Assign.cpp.o.d"
+  "/root/repo/src/jedd/CppEmit.cpp" "src/jedd/CMakeFiles/jedd_lang.dir/CppEmit.cpp.o" "gcc" "src/jedd/CMakeFiles/jedd_lang.dir/CppEmit.cpp.o.d"
+  "/root/repo/src/jedd/Driver.cpp" "src/jedd/CMakeFiles/jedd_lang.dir/Driver.cpp.o" "gcc" "src/jedd/CMakeFiles/jedd_lang.dir/Driver.cpp.o.d"
+  "/root/repo/src/jedd/Interp.cpp" "src/jedd/CMakeFiles/jedd_lang.dir/Interp.cpp.o" "gcc" "src/jedd/CMakeFiles/jedd_lang.dir/Interp.cpp.o.d"
+  "/root/repo/src/jedd/Lexer.cpp" "src/jedd/CMakeFiles/jedd_lang.dir/Lexer.cpp.o" "gcc" "src/jedd/CMakeFiles/jedd_lang.dir/Lexer.cpp.o.d"
+  "/root/repo/src/jedd/Parser.cpp" "src/jedd/CMakeFiles/jedd_lang.dir/Parser.cpp.o" "gcc" "src/jedd/CMakeFiles/jedd_lang.dir/Parser.cpp.o.d"
+  "/root/repo/src/jedd/TypeCheck.cpp" "src/jedd/CMakeFiles/jedd_lang.dir/TypeCheck.cpp.o" "gcc" "src/jedd/CMakeFiles/jedd_lang.dir/TypeCheck.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rel/CMakeFiles/jedd_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/jedd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jedd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/jedd_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/jedd_profiler.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

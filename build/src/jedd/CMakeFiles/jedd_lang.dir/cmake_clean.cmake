@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_lang.dir/Assign.cpp.o"
+  "CMakeFiles/jedd_lang.dir/Assign.cpp.o.d"
+  "CMakeFiles/jedd_lang.dir/CppEmit.cpp.o"
+  "CMakeFiles/jedd_lang.dir/CppEmit.cpp.o.d"
+  "CMakeFiles/jedd_lang.dir/Driver.cpp.o"
+  "CMakeFiles/jedd_lang.dir/Driver.cpp.o.d"
+  "CMakeFiles/jedd_lang.dir/Interp.cpp.o"
+  "CMakeFiles/jedd_lang.dir/Interp.cpp.o.d"
+  "CMakeFiles/jedd_lang.dir/Lexer.cpp.o"
+  "CMakeFiles/jedd_lang.dir/Lexer.cpp.o.d"
+  "CMakeFiles/jedd_lang.dir/Parser.cpp.o"
+  "CMakeFiles/jedd_lang.dir/Parser.cpp.o.d"
+  "CMakeFiles/jedd_lang.dir/TypeCheck.cpp.o"
+  "CMakeFiles/jedd_lang.dir/TypeCheck.cpp.o.d"
+  "libjedd_lang.a"
+  "libjedd_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

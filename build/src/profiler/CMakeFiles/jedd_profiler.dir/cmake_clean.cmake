@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_profiler.dir/Profiler.cpp.o"
+  "CMakeFiles/jedd_profiler.dir/Profiler.cpp.o.d"
+  "libjedd_profiler.a"
+  "libjedd_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_rel.dir/Relation.cpp.o"
+  "CMakeFiles/jedd_rel.dir/Relation.cpp.o.d"
+  "CMakeFiles/jedd_rel.dir/Universe.cpp.o"
+  "CMakeFiles/jedd_rel.dir/Universe.cpp.o.d"
+  "libjedd_rel.a"
+  "libjedd_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjedd_rel.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_sat.dir/CoreTools.cpp.o"
+  "CMakeFiles/jedd_sat.dir/CoreTools.cpp.o.d"
+  "CMakeFiles/jedd_sat.dir/Dimacs.cpp.o"
+  "CMakeFiles/jedd_sat.dir/Dimacs.cpp.o.d"
+  "CMakeFiles/jedd_sat.dir/Solver.cpp.o"
+  "CMakeFiles/jedd_sat.dir/Solver.cpp.o.d"
+  "libjedd_sat.a"
+  "libjedd_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

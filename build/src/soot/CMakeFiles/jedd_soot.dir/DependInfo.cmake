@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/soot/FactsIO.cpp" "src/soot/CMakeFiles/jedd_soot.dir/FactsIO.cpp.o" "gcc" "src/soot/CMakeFiles/jedd_soot.dir/FactsIO.cpp.o.d"
+  "/root/repo/src/soot/Generator.cpp" "src/soot/CMakeFiles/jedd_soot.dir/Generator.cpp.o" "gcc" "src/soot/CMakeFiles/jedd_soot.dir/Generator.cpp.o.d"
+  "/root/repo/src/soot/ProgramModel.cpp" "src/soot/CMakeFiles/jedd_soot.dir/ProgramModel.cpp.o" "gcc" "src/soot/CMakeFiles/jedd_soot.dir/ProgramModel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/jedd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_soot.dir/FactsIO.cpp.o"
+  "CMakeFiles/jedd_soot.dir/FactsIO.cpp.o.d"
+  "CMakeFiles/jedd_soot.dir/Generator.cpp.o"
+  "CMakeFiles/jedd_soot.dir/Generator.cpp.o.d"
+  "CMakeFiles/jedd_soot.dir/ProgramModel.cpp.o"
+  "CMakeFiles/jedd_soot.dir/ProgramModel.cpp.o.d"
+  "libjedd_soot.a"
+  "libjedd_soot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_soot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

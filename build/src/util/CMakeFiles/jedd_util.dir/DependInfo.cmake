@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/Diagnostic.cpp" "src/util/CMakeFiles/jedd_util.dir/Diagnostic.cpp.o" "gcc" "src/util/CMakeFiles/jedd_util.dir/Diagnostic.cpp.o.d"
+  "/root/repo/src/util/Fatal.cpp" "src/util/CMakeFiles/jedd_util.dir/Fatal.cpp.o" "gcc" "src/util/CMakeFiles/jedd_util.dir/Fatal.cpp.o.d"
+  "/root/repo/src/util/File.cpp" "src/util/CMakeFiles/jedd_util.dir/File.cpp.o" "gcc" "src/util/CMakeFiles/jedd_util.dir/File.cpp.o.d"
+  "/root/repo/src/util/StringUtils.cpp" "src/util/CMakeFiles/jedd_util.dir/StringUtils.cpp.o" "gcc" "src/util/CMakeFiles/jedd_util.dir/StringUtils.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

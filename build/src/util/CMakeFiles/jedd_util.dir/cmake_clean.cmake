@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_util.dir/Diagnostic.cpp.o"
+  "CMakeFiles/jedd_util.dir/Diagnostic.cpp.o.d"
+  "CMakeFiles/jedd_util.dir/Fatal.cpp.o"
+  "CMakeFiles/jedd_util.dir/Fatal.cpp.o.d"
+  "CMakeFiles/jedd_util.dir/File.cpp.o"
+  "CMakeFiles/jedd_util.dir/File.cpp.o.d"
+  "CMakeFiles/jedd_util.dir/StringUtils.cpp.o"
+  "CMakeFiles/jedd_util.dir/StringUtils.cpp.o.d"
+  "libjedd_util.a"
+  "libjedd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domainpack_test.dir/domainpack_test.cpp.o"
+  "CMakeFiles/domainpack_test.dir/domainpack_test.cpp.o.d"
+  "domainpack_test"
+  "domainpack_test.pdb"
+  "domainpack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domainpack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jedd_test.dir/jedd_test.cpp.o"
+  "CMakeFiles/jedd_test.dir/jedd_test.cpp.o.d"
+  "jedd_test"
+  "jedd_test.pdb"
+  "jedd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jedd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

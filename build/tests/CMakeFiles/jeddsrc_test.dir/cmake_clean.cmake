@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jeddsrc_test.dir/jeddsrc_test.cpp.o"
+  "CMakeFiles/jeddsrc_test.dir/jeddsrc_test.cpp.o.d"
+  "jeddsrc_test"
+  "jeddsrc_test.pdb"
+  "jeddsrc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jeddsrc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

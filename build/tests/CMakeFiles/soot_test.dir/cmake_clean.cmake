@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/soot_test.dir/soot_test.cpp.o"
+  "CMakeFiles/soot_test.dir/soot_test.cpp.o.d"
+  "soot_test"
+  "soot_test.pdb"
+  "soot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/soot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zdd_test.dir/zdd_test.cpp.o"
+  "CMakeFiles/zdd_test.dir/zdd_test.cpp.o.d"
+  "zdd_test"
+  "zdd_test.pdb"
+  "zdd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zdd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jeddanalyze.dir/jeddanalyze.cpp.o"
+  "CMakeFiles/jeddanalyze.dir/jeddanalyze.cpp.o.d"
+  "jeddanalyze"
+  "jeddanalyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jeddanalyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/jeddc.cpp" "tools/CMakeFiles/jeddc.dir/jeddc.cpp.o" "gcc" "tools/CMakeFiles/jeddc.dir/jeddc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jedd/CMakeFiles/jedd_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/jedd_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdd/CMakeFiles/jedd_bdd.dir/DependInfo.cmake"
+  "/root/repo/build/src/profiler/CMakeFiles/jedd_profiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sat/CMakeFiles/jedd_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/jedd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jeddc.dir/jeddc.cpp.o"
+  "CMakeFiles/jeddc.dir/jeddc.cpp.o.d"
+  "jeddc"
+  "jeddc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jeddc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -25,9 +25,13 @@
 #ifndef JEDDPP_BDD_BDD_H
 #define JEDDPP_BDD_BDD_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -53,6 +57,24 @@ enum class Op : uint8_t {
 };
 
 class Manager;
+class ParallelEngine;
+
+/// Configuration of the multi-core execution mode (docs/parallelism.md).
+/// With NumThreads == 1 the manager is the classic single-threaded package
+/// and produces bit-for-bit the results it always has. With NumThreads > 1
+/// the apply-family recursions (apply, ite, exists, relProd) fork their
+/// cofactor subproblems into a work-stealing task pool, the unique table
+/// becomes a sharded-lock concurrent hash table, and every participating
+/// thread gets a private computed cache.
+struct ParallelConfig {
+  /// Worker threads (including the calling thread). 0 means "use the
+  /// hardware concurrency"; 1 selects the serial engine.
+  unsigned NumThreads = 1;
+  /// Recursion depth above which cofactor pairs are forked as tasks;
+  /// below it the recursion runs inline on the current thread. Small
+  /// values expose more parallelism, large values reduce task overhead.
+  unsigned CutoffDepth = 6;
+};
 
 /// A reference-counted handle to a BDD node. Copying a handle bumps the
 /// node's reference count; destruction releases it, which is what lets the
@@ -98,6 +120,17 @@ private:
   NodeRef Ref = FalseRef;
 };
 
+/// Per-thread counters of the parallel engine; one entry per thread that
+/// has participated in a parallel operation (pool workers first, then any
+/// client threads in registration order).
+struct WorkerStats {
+  size_t CacheHits = 0;     ///< Private computed-cache hits.
+  size_t CacheLookups = 0;  ///< Private computed-cache probes.
+  size_t TasksForked = 0;   ///< Tasks this thread pushed to the pool.
+  size_t TasksExecuted = 0; ///< Tasks this thread ran from the pool.
+  size_t TasksStolen = 0;   ///< Executed tasks forked by another thread.
+};
+
 /// Aggregate statistics exposed for tests and the profiler.
 struct ManagerStats {
   size_t Capacity = 0;     ///< Total node slots.
@@ -107,6 +140,14 @@ struct ManagerStats {
   size_t CacheHits = 0;    ///< Computed-cache hits since creation.
   size_t CacheLookups = 0; ///< Computed-cache probes since creation.
   size_t NodesCreated = 0; ///< makeNode calls that allocated a new node.
+
+  // Parallel-engine counters; all zero / empty for serial managers. The
+  // CacheHits/CacheLookups aggregates above include the per-thread caches.
+  unsigned NumThreads = 1;          ///< Configured thread count.
+  size_t ParallelOps = 0;           ///< Top-level ops run on the pool.
+  size_t TasksForked = 0;           ///< Total forked tasks.
+  size_t TasksStolen = 0;           ///< Tasks run by a non-forking thread.
+  std::vector<WorkerStats> Workers; ///< Per-thread breakdown.
 };
 
 /// The BDD manager: node pool, unique table, computed cache, and all
@@ -121,12 +162,18 @@ class Manager {
 public:
   /// Creates a manager with \p NumVars client variables. \p InitialNodes
   /// is the starting node-pool capacity and \p CacheSize the computed
-  /// cache size (rounded up to a power of two).
+  /// cache size (rounded up to a power of two). \p Par selects the
+  /// execution engine; the default is the classic serial one.
   explicit Manager(unsigned NumVars, size_t InitialNodes = 1 << 14,
-                   size_t CacheSize = 1 << 16);
+                   size_t CacheSize = 1 << 16, ParallelConfig Par = {});
+  ~Manager();
 
   Manager(const Manager &) = delete;
   Manager &operator=(const Manager &) = delete;
+
+  /// True when the manager runs the multi-core engine (NumThreads > 1).
+  bool isParallel() const { return ParMode; }
+  const ParallelConfig &parallelConfig() const { return ParCfg; }
 
   unsigned numVars() const { return NumVars; }
 
@@ -242,22 +289,96 @@ private:
   static constexpr uint32_t VarFree = 0xFFFFFFFEu;
   static constexpr uint32_t NoNode = 0xFFFFFFFFu;
 
+  /// Node storage as fixed-size chunks with stable addresses. Growth
+  /// appends chunks and never moves existing nodes, which is what lets
+  /// parallel workers keep traversing the pool while another thread
+  /// extends it (the chunk-pointer array is pre-reserved, so push_back
+  /// never reallocates). Indexing costs one extra load over a flat
+  /// vector; serial allocation order is unchanged.
+  class NodePool {
+  public:
+    static constexpr unsigned ChunkShift = 12;
+    static constexpr size_t ChunkSize = size_t(1) << ChunkShift;
+    static constexpr size_t ChunkMask = ChunkSize - 1;
+    /// Upper bound on chunks (~134M nodes); keeps the pre-reserve small.
+    static constexpr size_t MaxChunks = size_t(1) << 15;
+
+    Node &operator[](NodeRef I) {
+      return Chunks[I >> ChunkShift].get()[I & ChunkMask];
+    }
+    const Node &operator[](NodeRef I) const {
+      return Chunks[I >> ChunkShift].get()[I & ChunkMask];
+    }
+    size_t size() const { return Cap.load(std::memory_order_relaxed); }
+    /// Extends capacity to at least \p NewCap (rounded up to a chunk
+    /// multiple). Existing nodes never move. Caller must serialize
+    /// growth (exclusive lock or the free-list lock).
+    void growTo(size_t NewCap);
+
+  private:
+    std::vector<std::unique_ptr<Node[]>> Chunks;
+    std::atomic<size_t> Cap{0};
+  };
+
   struct CacheEntry {
     uint32_t Tag = 0xFFFFFFFFu; ///< Operation tag; invalid by default.
     NodeRef A = 0, B = 0, C = 0;
     NodeRef Result = 0;
   };
 
+  // Operation tags for the computed caches (shared by the serial cache
+  // and the parallel per-thread caches). Binary apply operators use their
+  // Op value directly; the rest start above them.
+  enum CacheTag : uint32_t {
+    TagNot = 16,
+    TagIte = 17,
+    TagExists = 18,
+    TagRelProd = 19,
+    TagRestrict0 = 20,
+    TagRestrict1 = 21,
+    TagReplaceBase = 64, // TagReplaceBase + per-map id.
+  };
+
+  static uint32_t hashTriple(uint32_t A, uint32_t B, uint32_t C) {
+    uint64_t H = (uint64_t)A * 0x9e3779b97f4a7c15ULL;
+    H ^= (uint64_t)B * 0xc2b2ae3d27d4eb4fULL;
+    H ^= (uint64_t)C * 0x165667b19e3779f9ULL;
+    H ^= H >> 29;
+    return static_cast<uint32_t>(H);
+  }
+
   unsigned NumVars;
   unsigned TotalVars; ///< NumVars real + NumVars scratch.
 
-  std::vector<Node> Nodes;
+  NodePool Nodes;
   std::vector<uint32_t> Buckets; ///< Unique table heads; size power of 2.
   uint32_t FreeHead = NoNode;
   size_t FreeCount = 0;
 
   std::vector<CacheEntry> Cache;
   size_t CacheMask;
+
+  //===--------------------------------------------------------------===//
+  // Parallel-mode state (inert for serial managers)
+  //===--------------------------------------------------------------===//
+
+  ParallelConfig ParCfg;
+  bool ParMode = false;
+
+  /// Readers/writer lock over operations: parallelized ops hold it
+  /// shared, everything that mutates global structures (gc, rehash,
+  /// replace, inspection walks...) holds it exclusive. Serial managers
+  /// never touch it.
+  mutable std::shared_mutex OpLock;
+
+  /// Guards FreeHead/FreeCount and pool growth in parallel mode.
+  mutable std::mutex FreeLock;
+  /// Relaxed mirror of FreeCount for the pre-lock GC heuristic.
+  std::atomic<size_t> FreeApprox{0};
+  /// Nodes created by the concurrent makeNode path.
+  std::atomic<size_t> NodesCreatedMT{0};
+  /// Top-level operations executed by the parallel engine.
+  std::atomic<size_t> ParallelOpsMT{0};
 
   std::vector<uint8_t> Marks; ///< GC mark bits, one byte per node.
 
@@ -282,6 +403,23 @@ private:
   void rehash();
   void clearCache();
   void markRec(NodeRef N);
+
+  // Unlocked cores of the public entry points. In serial mode the public
+  // functions call these directly; in parallel mode they wrap them in the
+  // appropriate OpLock scope. Internal code must always call the Impl
+  // form, never the locking public one (the lock is not reentrant).
+  void gcImpl();
+  void gcIfNeededImpl();
+  size_t liveNodeCountImpl();
+  std::vector<unsigned> supportImpl(NodeRef Root) const;
+  Bdd replaceImpl(const Bdd &F, const std::vector<int> &Map);
+
+  /// Serial-mode heuristic plus, in parallel mode, the deferred unique
+  /// table rehash (concurrent growth never rehashes mid-operation).
+  void exclusiveProlog();
+  /// Pre-lock GC policy for parallelized ops: when the free ratio looks
+  /// low, take the exclusive lock and collect before starting.
+  void maybeGcShared();
 
   // Cache plumbing. Tags combine the operation kind and, for quantifier
   // operations, the cube node.
@@ -311,7 +449,13 @@ private:
   bool isOrderPreserving(const std::vector<int> &Map,
                          const std::vector<unsigned> &Support) const;
 
+  /// The multi-core engine (task pool, worker contexts, concurrent
+  /// makeNode). Declared last so it is destroyed first: workers must
+  /// stop before the pool and tables go away.
+  std::unique_ptr<ParallelEngine> Par;
+
   friend class Bdd;
+  friend class ParallelEngine;
 };
 
 inline Bdd Bdd::operator&(const Bdd &Other) const {

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "bdd/Bdd.h"
+#include "bdd/ParallelEngine.h"
 #include "util/StringUtils.h"
 
 #include <algorithm>
@@ -14,6 +15,48 @@
 
 using namespace jedd;
 using namespace jedd::bdd;
+
+namespace {
+
+/// Saturating reference-count access. In parallel mode handle copies and
+/// destructions happen on client threads outside the operation lock, so
+/// the count is accessed atomically; serial managers keep the plain
+/// non-atomic fast path.
+inline void refAdd(uint32_t &Count, bool Atomic) {
+  if (Atomic) {
+    std::atomic_ref<uint32_t> R(Count);
+    if (R.load(std::memory_order_relaxed) != 0xFFFFFFFFu)
+      R.fetch_add(1, std::memory_order_relaxed);
+  } else if (Count != 0xFFFFFFFFu) {
+    ++Count;
+  }
+}
+
+inline void refSub(uint32_t &Count, bool Atomic) {
+  if (Atomic) {
+    std::atomic_ref<uint32_t> R(Count);
+    assert(R.load(std::memory_order_relaxed) > 0 &&
+           "reference count underflow");
+    // Release pairs with the acquire load in the GC mark phase: a slot
+    // may only be swept (and its memory reused) after the drop of its
+    // last handle is visible, which is the classic refcount protocol.
+    if (R.load(std::memory_order_relaxed) != 0xFFFFFFFFu)
+      R.fetch_sub(1, std::memory_order_release);
+  } else {
+    assert(Count > 0 && "reference count underflow");
+    if (Count != 0xFFFFFFFFu)
+      --Count;
+  }
+}
+
+inline uint32_t refLoad(const uint32_t &Count, bool Atomic) {
+  if (Atomic)
+    return std::atomic_ref<const uint32_t>(Count).load(
+        std::memory_order_acquire);
+  return Count;
+}
+
+} // namespace
 
 //===----------------------------------------------------------------------===//
 // Bdd handle
@@ -74,19 +117,25 @@ static size_t roundUpPow2(size_t N) {
   return P;
 }
 
-static uint32_t hashTriple(uint32_t A, uint32_t B, uint32_t C) {
-  uint64_t H = (uint64_t)A * 0x9e3779b97f4a7c15ULL;
-  H ^= (uint64_t)B * 0xc2b2ae3d27d4eb4fULL;
-  H ^= (uint64_t)C * 0x165667b19e3779f9ULL;
-  H ^= H >> 29;
-  return static_cast<uint32_t>(H);
+void Manager::NodePool::growTo(size_t NewCap) {
+  if (Chunks.capacity() == 0)
+    Chunks.reserve(MaxChunks); // Never reallocates afterwards.
+  size_t Current = Cap.load(std::memory_order_relaxed);
+  while (Current < NewCap) {
+    assert(Chunks.size() < MaxChunks && "node pool exhausted");
+    Chunks.push_back(std::make_unique<Node[]>(ChunkSize));
+    Current += ChunkSize;
+  }
+  Cap.store(Current, std::memory_order_relaxed);
 }
 
-Manager::Manager(unsigned NumVars, size_t InitialNodes, size_t CacheSize)
-    : NumVars(NumVars), TotalVars(2 * NumVars) {
+Manager::Manager(unsigned NumVars, size_t InitialNodes, size_t CacheSize,
+                 ParallelConfig ParArg)
+    : NumVars(NumVars), TotalVars(2 * NumVars), ParCfg(ParArg) {
   assert(NumVars > 0 && "a manager needs at least one variable");
-  size_t Capacity = std::max<size_t>(roundUpPow2(InitialNodes), 1024);
-  Nodes.resize(Capacity);
+  size_t Capacity =
+      std::max<size_t>(roundUpPow2(InitialNodes), NodePool::ChunkSize);
+  Nodes.growTo(Capacity);
   Marks.assign(Capacity, 0);
   Buckets.assign(roundUpPow2(Capacity), NoNode);
 
@@ -107,7 +156,16 @@ Manager::Manager(unsigned NumVars, size_t InitialNodes, size_t CacheSize)
 
   Cache.assign(roundUpPow2(std::max<size_t>(CacheSize, 1024)), CacheEntry());
   CacheMask = Cache.size() - 1;
+
+  if (ParCfg.NumThreads == 0)
+    ParCfg.NumThreads = std::max(1u, std::thread::hardware_concurrency());
+  ParMode = ParCfg.NumThreads > 1;
+  FreeApprox.store(FreeCount, std::memory_order_relaxed);
+  if (ParMode)
+    Par = std::make_unique<ParallelEngine>(*this, ParCfg, CacheSize);
 }
+
+Manager::~Manager() = default;
 
 NodeRef Manager::makeNode(uint32_t Var, NodeRef Low, NodeRef High) {
   assert(Var < TotalVars && "variable out of range");
@@ -141,7 +199,7 @@ void Manager::growPool() {
   // must survive. See the class comment.
   size_t OldCapacity = Nodes.size();
   size_t NewCapacity = OldCapacity * 2;
-  Nodes.resize(NewCapacity);
+  Nodes.growTo(NewCapacity);
   Marks.resize(NewCapacity, 0);
   for (size_t I = NewCapacity; I-- > OldCapacity;) {
     Nodes[I].Var = VarFree;
@@ -149,6 +207,7 @@ void Manager::growPool() {
     FreeHead = static_cast<uint32_t>(I);
     ++FreeCount;
   }
+  FreeApprox.store(FreeCount, std::memory_order_relaxed);
   if (Nodes.size() > 2 * Buckets.size())
     rehash();
 }
@@ -178,10 +237,19 @@ void Manager::markRec(NodeRef N) {
   }
 }
 
-void Manager::gc() {
+void Manager::gcImpl() {
+  // Concurrent growth may have outpaced Marks; GC runs at exclusive
+  // points, so resizing here is safe.
+  if (Marks.size() < Nodes.size())
+    Marks.resize(Nodes.size(), 0);
+  // Parallel workers hold privately cached free nodes and computed-cache
+  // entries referring to nodes about to be swept; drop both first.
+  if (Par)
+    Par->onGc();
+
   std::fill(Marks.begin(), Marks.end(), 0);
   for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
-    if (Nodes[N].Var < VarFree && Nodes[N].RefCount > 0)
+    if (Nodes[N].Var < VarFree && refLoad(Nodes[N].RefCount, ParMode) > 0)
       markRec(N);
 
   FreeHead = NoNode;
@@ -200,34 +268,59 @@ void Manager::gc() {
   }
   rehash();
   clearCache();
+  FreeApprox.store(FreeCount, std::memory_order_relaxed);
   ++GcRuns;
 }
 
-void Manager::gcIfNeeded() {
+void Manager::gcIfNeededImpl() {
+  if (ParMode && Nodes.size() > 2 * Buckets.size())
+    rehash(); // Deferred from concurrent pool growth.
   if (FreeCount * 8 < Nodes.size())
-    gc();
+    gcImpl();
 }
 
-void Manager::incRef(NodeRef Ref) {
-  Node &Nd = Nodes[Ref];
-  if (Nd.RefCount != 0xFFFFFFFFu)
-    ++Nd.RefCount;
+void Manager::exclusiveProlog() { gcIfNeededImpl(); }
+
+void Manager::maybeGcShared() {
+  if (FreeApprox.load(std::memory_order_relaxed) * 8 >= Nodes.size())
+    return;
+  std::unique_lock<std::shared_mutex> Lock(OpLock);
+  gcIfNeededImpl(); // Rechecks under the lock.
 }
 
-void Manager::decRef(NodeRef Ref) {
-  Node &Nd = Nodes[Ref];
-  assert(Nd.RefCount > 0 && "reference count underflow");
-  if (Nd.RefCount != 0xFFFFFFFFu)
-    --Nd.RefCount;
+void Manager::gc() {
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    gcImpl();
+    return;
+  }
+  gcImpl();
 }
 
-uint32_t Manager::refCount(NodeRef Ref) const { return Nodes[Ref].RefCount; }
+void Manager::gcIfNeeded() {
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    gcIfNeededImpl();
+    return;
+  }
+  gcIfNeededImpl();
+}
 
-size_t Manager::liveNodeCount() {
+void Manager::incRef(NodeRef Ref) { refAdd(Nodes[Ref].RefCount, ParMode); }
+
+void Manager::decRef(NodeRef Ref) { refSub(Nodes[Ref].RefCount, ParMode); }
+
+uint32_t Manager::refCount(NodeRef Ref) const {
+  return refLoad(Nodes[Ref].RefCount, ParMode);
+}
+
+size_t Manager::liveNodeCountImpl() {
+  if (Marks.size() < Nodes.size())
+    Marks.resize(Nodes.size(), 0);
   std::fill(Marks.begin(), Marks.end(), 0);
   size_t Live = 0;
   for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
-    if (Nodes[N].Var < VarFree && Nodes[N].RefCount > 0)
+    if (Nodes[N].Var < VarFree && refLoad(Nodes[N].RefCount, ParMode) > 0)
       markRec(N);
   for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N)
     if (Nodes[N].Var < VarFree && Marks[N])
@@ -235,8 +328,36 @@ size_t Manager::liveNodeCount() {
   return Live;
 }
 
+size_t Manager::liveNodeCount() {
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    return liveNodeCountImpl();
+  }
+  return liveNodeCountImpl();
+}
+
 ManagerStats Manager::stats() const {
   ManagerStats S;
+  if (ParMode) {
+    // Shared lock: consistent against GC/rehash but callable while
+    // operations are in flight (counters are then approximate).
+    std::shared_lock<std::shared_mutex> Lock(OpLock);
+    {
+      std::lock_guard<std::mutex> FL(FreeLock);
+      S.Capacity = Nodes.size();
+      S.FreeNodes = FreeCount;
+    }
+    S.LiveNodes = S.Capacity - S.FreeNodes - 2;
+    S.GcRuns = GcRuns;
+    S.CacheHits = CacheHits;
+    S.CacheLookups = CacheLookups;
+    S.NodesCreated =
+        NodesCreated + NodesCreatedMT.load(std::memory_order_relaxed);
+    S.NumThreads = ParCfg.NumThreads;
+    S.ParallelOps = ParallelOpsMT.load(std::memory_order_relaxed);
+    Par->collectStats(S);
+    return S;
+  }
   S.Capacity = Nodes.size();
   S.FreeNodes = FreeCount;
   S.LiveNodes = Nodes.size() - FreeCount - 2;
@@ -251,19 +372,8 @@ ManagerStats Manager::stats() const {
 // Computed cache
 //===----------------------------------------------------------------------===//
 
-namespace {
-// Operation tags for the computed cache. Binary apply operators use their
-// Op value directly; the rest start above them.
-enum CacheTag : uint32_t {
-  TagNot = 16,
-  TagIte = 17,
-  TagExists = 18,
-  TagRelProd = 19,
-  TagRestrict0 = 20,
-  TagRestrict1 = 21,
-  TagReplaceBase = 64, // TagReplaceBase + per-map id.
-};
-} // namespace
+// The CacheTag constants live in the class so the parallel engine's
+// per-thread caches key entries identically to the serial cache.
 
 bool Manager::cacheLookup(uint32_t Tag, NodeRef A, NodeRef B, NodeRef C,
                           NodeRef &Result) {
@@ -289,13 +399,23 @@ void Manager::cacheStore(uint32_t Tag, NodeRef A, NodeRef B, NodeRef C,
 
 Bdd Manager::var(unsigned Var) {
   assert(Var < NumVars && "client variable out of range");
-  gcIfNeeded();
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    exclusiveProlog();
+    return Bdd(this, makeNode(Var, FalseRef, TrueRef));
+  }
+  gcIfNeededImpl();
   return Bdd(this, makeNode(Var, FalseRef, TrueRef));
 }
 
 Bdd Manager::nvar(unsigned Var) {
   assert(Var < NumVars && "client variable out of range");
-  gcIfNeeded();
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    exclusiveProlog();
+    return Bdd(this, makeNode(Var, TrueRef, FalseRef));
+  }
+  gcIfNeededImpl();
   return Bdd(this, makeNode(Var, TrueRef, FalseRef));
 }
 
@@ -389,7 +509,13 @@ NodeRef Manager::applyRec(Op Operator, NodeRef F, NodeRef G) {
 Bdd Manager::apply(Op Operator, const Bdd &F, const Bdd &G) {
   assert(F.manager() == this && G.manager() == this &&
          "operands belong to another manager");
-  gcIfNeeded();
+  if (ParMode) {
+    maybeGcShared();
+    std::shared_lock<std::shared_mutex> Lock(OpLock);
+    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+    return Bdd(this, Par->apply(Operator, F.ref(), G.ref()));
+  }
+  gcIfNeededImpl();
   return Bdd(this, applyRec(Operator, F.ref(), G.ref()));
 }
 
@@ -408,7 +534,12 @@ NodeRef Manager::notRec(NodeRef F) {
 
 Bdd Manager::bddNot(const Bdd &F) {
   assert(F.manager() == this && "operand belongs to another manager");
-  gcIfNeeded();
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    exclusiveProlog();
+    return Bdd(this, notRec(F.ref()));
+  }
+  gcIfNeededImpl();
   return Bdd(this, notRec(F.ref()));
 }
 
@@ -444,7 +575,13 @@ NodeRef Manager::iteRec(NodeRef F, NodeRef G, NodeRef H) {
 Bdd Manager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
   assert(F.manager() == this && G.manager() == this && H.manager() == this &&
          "operands belong to another manager");
-  gcIfNeeded();
+  if (ParMode) {
+    maybeGcShared();
+    std::shared_lock<std::shared_mutex> Lock(OpLock);
+    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+    return Bdd(this, Par->ite(F.ref(), G.ref(), H.ref()));
+  }
+  gcIfNeededImpl();
   return Bdd(this, iteRec(F.ref(), G.ref(), H.ref()));
 }
 
@@ -457,13 +594,21 @@ Bdd Manager::cube(const std::vector<unsigned> &Vars) {
   std::sort(Sorted.begin(), Sorted.end());
   assert(std::adjacent_find(Sorted.begin(), Sorted.end()) == Sorted.end() &&
          "duplicate variable in cube");
-  gcIfNeeded();
-  NodeRef Result = TrueRef;
-  for (size_t I = Sorted.size(); I-- > 0;) {
-    assert(Sorted[I] < TotalVars && "cube variable out of range");
-    Result = makeNode(Sorted[I], FalseRef, Result);
+  auto Build = [&] {
+    NodeRef Result = TrueRef;
+    for (size_t I = Sorted.size(); I-- > 0;) {
+      assert(Sorted[I] < TotalVars && "cube variable out of range");
+      Result = makeNode(Sorted[I], FalseRef, Result);
+    }
+    return Bdd(this, Result);
+  };
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    exclusiveProlog();
+    return Build();
   }
-  return Bdd(this, Result);
+  gcIfNeededImpl();
+  return Build();
 }
 
 NodeRef Manager::existsRec(NodeRef F, NodeRef CubeBdd) {
@@ -493,7 +638,13 @@ NodeRef Manager::existsRec(NodeRef F, NodeRef CubeBdd) {
 Bdd Manager::exists(const Bdd &F, const Bdd &CubeBdd) {
   assert(F.manager() == this && CubeBdd.manager() == this &&
          "operands belong to another manager");
-  gcIfNeeded();
+  if (ParMode) {
+    maybeGcShared();
+    std::shared_lock<std::shared_mutex> Lock(OpLock);
+    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+    return Bdd(this, Par->exists(F.ref(), CubeBdd.ref()));
+  }
+  gcIfNeededImpl();
   return Bdd(this, existsRec(F.ref(), CubeBdd.ref()));
 }
 
@@ -537,7 +688,13 @@ NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
 Bdd Manager::relProd(const Bdd &F, const Bdd &G, const Bdd &CubeBdd) {
   assert(F.manager() == this && G.manager() == this &&
          CubeBdd.manager() == this && "operands belong to another manager");
-  gcIfNeeded();
+  if (ParMode) {
+    maybeGcShared();
+    std::shared_lock<std::shared_mutex> Lock(OpLock);
+    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+    return Bdd(this, Par->relProd(F.ref(), G.ref(), CubeBdd.ref()));
+  }
+  gcIfNeededImpl();
   return Bdd(this, relProdRec(F.ref(), G.ref(), CubeBdd.ref()));
 }
 
@@ -577,8 +734,16 @@ NodeRef Manager::replaceRec(NodeRef F, const std::vector<int> &FullMap,
 Bdd Manager::replace(const Bdd &F, const std::vector<int> &Map) {
   assert(F.manager() == this && "operand belongs to another manager");
   assert(Map.size() <= NumVars && "replace map covers client variables only");
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    exclusiveProlog();
+    return replaceImpl(F, Map);
+  }
+  return replaceImpl(F, Map);
+}
 
-  std::vector<unsigned> Supp = support(F);
+Bdd Manager::replaceImpl(const Bdd &F, const std::vector<int> &Map) {
+  std::vector<unsigned> Supp = supportImpl(F.ref());
   std::vector<std::pair<unsigned, unsigned>> Moves;
   for (unsigned V : Supp)
     if (V < Map.size() && Map[V] >= 0 && static_cast<unsigned>(Map[V]) != V)
@@ -616,7 +781,7 @@ Bdd Manager::replace(const Bdd &F, const std::vector<int> &Map) {
       MapIds.try_emplace(Map, static_cast<uint32_t>(MapIds.size()));
   (void)Inserted;
   uint32_t Tag = TagReplaceBase + It->second;
-  gcIfNeeded();
+  gcIfNeededImpl();
 
   if (isOrderPreserving(Map, Supp))
     // A single bottom-up relabeling recursion is sound because relative
@@ -674,7 +839,12 @@ NodeRef Manager::restrictRec(NodeRef F, unsigned Var, bool Value) {
 Bdd Manager::restrict(const Bdd &F, unsigned Var, bool Value) {
   assert(F.manager() == this && "operand belongs to another manager");
   assert(Var < TotalVars && "variable out of range");
-  gcIfNeeded();
+  if (ParMode) {
+    std::unique_lock<std::shared_mutex> Lock(OpLock);
+    exclusiveProlog();
+    return Bdd(this, restrictRec(F.ref(), Var, Value));
+  }
+  gcIfNeededImpl();
   return Bdd(this, restrictRec(F.ref(), Var, Value));
 }
 
@@ -716,8 +886,13 @@ double Manager::satCountRec(NodeRef F,
 
 double Manager::satCount(const Bdd &F) {
   assert(F.manager() == this && "operand belongs to another manager");
+  // Exclusive in parallel mode: satCountRec reads node fields that GC and
+  // rehash rewrite, and the debug support() walk mutates Stamps.
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
 #ifndef NDEBUG
-  for (unsigned V : support(F))
+  for (unsigned V : supportImpl(F.ref()))
     assert(V < NumVars && "satCount over a BDD holding scratch variables");
 #endif
   std::unordered_map<NodeRef, double> Memo;
@@ -727,6 +902,9 @@ double Manager::satCount(const Bdd &F) {
 }
 
 size_t Manager::nodeCount(const Bdd &F) {
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
   uint32_t Stamp = newStamp();
   std::vector<NodeRef> Stack = {F.ref()};
   size_t Count = 0;
@@ -744,6 +922,9 @@ size_t Manager::nodeCount(const Bdd &F) {
 }
 
 std::vector<size_t> Manager::levelShape(const Bdd &F) {
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
   std::vector<size_t> Shape(NumVars, 0);
   uint32_t Stamp = newStamp();
   std::vector<NodeRef> Stack = {F.ref()};
@@ -762,9 +943,17 @@ std::vector<size_t> Manager::levelShape(const Bdd &F) {
 }
 
 std::vector<unsigned> Manager::support(const Bdd &F) {
+  assert(F.manager() == this && "operand belongs to another manager");
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
+  return supportImpl(F.ref());
+}
+
+std::vector<unsigned> Manager::supportImpl(NodeRef Root) const {
   std::vector<uint8_t> InSupport(TotalVars, 0);
   uint32_t Stamp = newStamp();
-  std::vector<NodeRef> Stack = {F.ref()};
+  std::vector<NodeRef> Stack = {Root};
   while (!Stack.empty()) {
     NodeRef N = Stack.back();
     Stack.pop_back();
@@ -787,8 +976,13 @@ void Manager::enumerate(
     const std::function<bool(const std::vector<bool> &)> &Fn) {
   assert(std::is_sorted(Vars.begin(), Vars.end()) &&
          "enumeration variables must be sorted by level");
+  // Exclusive in parallel mode; note the callback runs under the lock and
+  // must not call back into this manager.
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
 #ifndef NDEBUG
-  for (unsigned V : support(F))
+  for (unsigned V : supportImpl(F.ref()))
     assert(std::binary_search(Vars.begin(), Vars.end(), V) &&
            "enumeration variables must cover the support");
 #endif
@@ -821,6 +1015,11 @@ void Manager::enumerate(
 
 bool Manager::evalAssignment(const Bdd &F,
                              const std::vector<bool> &Assignment) const {
+  // Node fields of reachable nodes are immutable outside GC/rehash, so a
+  // shared lock suffices even while parallel operations run.
+  std::shared_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
   NodeRef N = F.ref();
   while (!isTerminal(N)) {
     assert(Nodes[N].Var < Assignment.size() &&
@@ -831,6 +1030,9 @@ bool Manager::evalAssignment(const Bdd &F,
 }
 
 std::string Manager::toDot(const Bdd &F) {
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
   std::string Out = "digraph bdd {\n  node [shape=circle];\n";
   Out += "  f0 [shape=box,label=\"0\"];\n  f1 [shape=box,label=\"1\"];\n";
   uint32_t Stamp = newStamp();

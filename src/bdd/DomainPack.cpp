@@ -19,7 +19,8 @@ PhysDomId DomainPack::addDomain(std::string Name, unsigned Bits) {
   return static_cast<PhysDomId>(Doms.size() - 1);
 }
 
-void DomainPack::finalize(size_t InitialNodes, size_t CacheSize) {
+void DomainPack::finalize(size_t InitialNodes, size_t CacheSize,
+                          ParallelConfig Par) {
   assert(!Mgr && "finalize() may only run once");
   assert(!Doms.empty() && "a pack needs at least one domain");
 
@@ -50,7 +51,7 @@ void DomainPack::finalize(size_t InitialNodes, size_t CacheSize) {
           D.Vars[Round - Offset] = NextVar++;
       }
   }
-  Mgr = std::make_unique<Manager>(NextVar, InitialNodes, CacheSize);
+  Mgr = std::make_unique<Manager>(NextVar, InitialNodes, CacheSize, Par);
 }
 
 Bdd DomainPack::encode(PhysDomId Dom, uint64_t Value) {

@@ -53,8 +53,10 @@ public:
   /// finalize(). Returns the domain's id.
   PhysDomId addDomain(std::string Name, unsigned Bits);
 
-  /// Assigns variable positions and creates the manager.
-  void finalize(size_t InitialNodes = 1 << 14, size_t CacheSize = 1 << 16);
+  /// Assigns variable positions and creates the manager. \p Par selects
+  /// the manager's execution engine (serial by default).
+  void finalize(size_t InitialNodes = 1 << 14, size_t CacheSize = 1 << 16,
+                ParallelConfig Par = {});
   bool isFinalized() const { return Mgr != nullptr; }
 
   Manager &manager() {

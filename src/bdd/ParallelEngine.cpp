@@ -1,0 +1,665 @@
+//===- ParallelEngine.cpp - Multi-core BDD apply/relProd kernel -----------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+//
+// Synchronization summary (see docs/parallelism.md for the full story):
+//
+//  * Callers hold Manager::OpLock shared for the duration of a parallel
+//    operation, which excludes GC, rehashing and every exclusive
+//    (serial-core) operation. Within that envelope:
+//      - node *fields* of reachable nodes are immutable, so recursions
+//        read them without locks;
+//      - unique-table buckets are read and written only under the shard
+//        lock covering the bucket;
+//      - the global free list is guarded by Manager::FreeLock and drained
+//        in batches into per-thread caches;
+//      - pool growth appends address-stable chunks under FreeLock and
+//        leaves the bucket array alone (rehash is deferred to the next
+//        exclusive point).
+//  * Tasks are stack-allocated in the forking frame. Popping a task from
+//    the queue (under QLock) is the exclusive claim to execute it; the
+//    forker either removes its own task before running it inline, or
+//    waits on the Done flag, so a task can never outlive its executor's
+//    use of it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bdd/ParallelEngine.h"
+
+#include <algorithm>
+
+using namespace jedd;
+using namespace jedd::bdd;
+
+namespace {
+
+size_t roundUpPow2(size_t N) {
+  size_t P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+
+/// Engine serial numbers for the thread-local context cache. Addresses
+/// can be recycled across engine lifetimes; serials never are.
+std::atomic<uint64_t> EngineSerial{0};
+
+/// Per-thread map from engine serial to that thread's WorkerCtx. Stale
+/// entries of destroyed engines are harmless: their serials never match
+/// again. Stored as void* because WorkerCtx is private to the engine.
+thread_local std::vector<std::pair<uint64_t, void *>> TlCtxCache;
+
+/// Upper bound on queued tasks; beyond it forks run inline. Keeps the
+/// queue (and the worst-case help-chain stack depth) small.
+constexpr size_t MaxQueuedTasks = 1024;
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Worker context and task
+//===----------------------------------------------------------------------===//
+
+/// Single-writer statistics counter: only the owning thread bumps it,
+/// but collectStats() may read from another thread at any time, so the
+/// accesses must be atomic. The relaxed load+store bump (instead of an
+/// atomic RMW) keeps the hot cache-lookup path free of lock-prefixed
+/// instructions; single-writer means nothing is lost.
+class StatCounter {
+public:
+  void bump() {
+    Value.store(Value.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  }
+  size_t get() const { return Value.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<size_t> Value{0};
+};
+
+/// Per-thread state: a private computed cache (same entry layout and tag
+/// space as the serial cache), a batch-refilled free-node cache, and the
+/// counters surfaced through ManagerStats::Workers.
+struct ParallelEngine::WorkerCtx {
+  explicit WorkerCtx(size_t CacheEntries)
+      : Cache(CacheEntries), CacheMask(CacheEntries - 1) {}
+
+  std::vector<Manager::CacheEntry> Cache;
+  size_t CacheMask;
+  std::vector<uint32_t> LocalFree;
+
+  StatCounter CacheHits;
+  StatCounter CacheLookups;
+  StatCounter TasksForked;
+  StatCounter TasksExecuted;
+  StatCounter TasksStolen;
+
+  bool cacheLookup(uint32_t Tag, NodeRef A, NodeRef B, NodeRef C,
+                   NodeRef &Result) {
+    CacheLookups.bump();
+    Manager::CacheEntry &E =
+        Cache[Manager::hashTriple(A ^ (Tag * 0x85ebca6bu), B, C) & CacheMask];
+    if (E.Tag == Tag && E.A == A && E.B == B && E.C == C) {
+      CacheHits.bump();
+      Result = E.Result;
+      return true;
+    }
+    return false;
+  }
+
+  void cacheStore(uint32_t Tag, NodeRef A, NodeRef B, NodeRef C,
+                  NodeRef Result) {
+    Manager::CacheEntry &E =
+        Cache[Manager::hashTriple(A ^ (Tag * 0x85ebca6bu), B, C) & CacheMask];
+    E = {Tag, A, B, C, Result};
+  }
+};
+
+/// One forked cofactor subproblem. Lives on the forking thread's stack;
+/// Result is published with a release store to Done.
+struct ParallelEngine::Task {
+  enum Kind : uint8_t { Apply, Ite, Exists, RelProd };
+
+  Kind K = Apply;
+  Op Operator = Op::And;
+  NodeRef A = 0, B = 0, C = 0;
+  unsigned Depth = 0;
+  WorkerCtx *Forker = nullptr;
+  NodeRef Result = 0;
+  std::atomic<uint32_t> Done{0};
+};
+
+//===----------------------------------------------------------------------===//
+// Engine lifecycle
+//===----------------------------------------------------------------------===//
+
+ParallelEngine::ParallelEngine(Manager &M, const ParallelConfig &Cfg,
+                               size_t CacheSize)
+    : M(M), CutoffDepth(Cfg.CutoffDepth), NumShards(256),
+      Serial(EngineSerial.fetch_add(1, std::memory_order_relaxed) + 1) {
+  Shards = std::make_unique<std::mutex[]>(NumShards);
+
+  size_t PerThread = roundUpPow2(
+      std::max<size_t>(CacheSize / std::max(1u, Cfg.NumThreads), 1 << 12));
+  unsigned NumWorkers = Cfg.NumThreads - 1;
+  std::vector<WorkerCtx *> WorkerPtrs;
+  {
+    std::lock_guard<std::mutex> L(CtxLock);
+    for (unsigned I = 0; I != NumWorkers; ++I) {
+      Ctxs.push_back(std::make_unique<WorkerCtx>(PerThread));
+      WorkerPtrs.push_back(Ctxs.back().get());
+    }
+  }
+  for (WorkerCtx *C : WorkerPtrs)
+    Threads.emplace_back([this, C] { workerLoop(*C); });
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> L(QLock);
+    Stop = true;
+  }
+  QCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+ParallelEngine::WorkerCtx &ParallelEngine::ctxForThisThread() {
+  for (const auto &[EngineId, Ctx] : TlCtxCache)
+    if (EngineId == Serial)
+      return *static_cast<WorkerCtx *>(Ctx);
+  std::lock_guard<std::mutex> L(CtxLock);
+  size_t PerThread = Ctxs.empty() ? (size_t(1) << 14) : Ctxs.front()->Cache.size();
+  Ctxs.push_back(std::make_unique<WorkerCtx>(PerThread));
+  WorkerCtx *C = Ctxs.back().get();
+  TlCtxCache.push_back({Serial, C});
+  return *C;
+}
+
+void ParallelEngine::onGc() {
+  std::lock_guard<std::mutex> L(CtxLock);
+  for (auto &C : Ctxs) {
+    C->LocalFree.clear();
+    std::fill(C->Cache.begin(), C->Cache.end(), Manager::CacheEntry());
+  }
+}
+
+void ParallelEngine::collectStats(ManagerStats &S) const {
+  std::lock_guard<std::mutex> L(CtxLock);
+  for (const auto &C : Ctxs) {
+    WorkerStats W;
+    W.CacheHits = C->CacheHits.get();
+    W.CacheLookups = C->CacheLookups.get();
+    W.TasksForked = C->TasksForked.get();
+    W.TasksExecuted = C->TasksExecuted.get();
+    W.TasksStolen = C->TasksStolen.get();
+    S.Workers.push_back(W);
+    S.CacheHits += W.CacheHits;
+    S.CacheLookups += W.CacheLookups;
+    S.TasksForked += W.TasksForked;
+    S.TasksStolen += W.TasksStolen;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Task pool
+//===----------------------------------------------------------------------===//
+
+void ParallelEngine::workerLoop(WorkerCtx &C) {
+  std::unique_lock<std::mutex> L(QLock);
+  for (;;) {
+    QCv.wait(L, [&] { return Stop || !Queue.empty(); });
+    if (Queue.empty()) {
+      if (Stop)
+        return;
+      continue;
+    }
+    Task *T = Queue.front(); // Oldest task = biggest subproblem.
+    Queue.pop_front();
+    L.unlock();
+    runTask(C, *T);
+    L.lock();
+  }
+}
+
+void ParallelEngine::fork(WorkerCtx &C, Task &T) {
+  T.Forker = &C;
+  {
+    std::lock_guard<std::mutex> L(QLock);
+    if (Queue.size() >= MaxQueuedTasks) {
+      // Saturated: run inline at join time (the claim-back path).
+      C.TasksForked.bump();
+      T.Done.store(2, std::memory_order_relaxed); // 2 = never queued.
+      return;
+    }
+    Queue.push_back(&T);
+  }
+  C.TasksForked.bump();
+  QCv.notify_one();
+}
+
+NodeRef ParallelEngine::runTaskBody(WorkerCtx &C, const Task &T) {
+  switch (T.K) {
+  case Task::Apply:
+    return applyRec(C, T.Operator, T.A, T.B, T.Depth);
+  case Task::Ite:
+    return iteRec(C, T.A, T.B, T.C, T.Depth);
+  case Task::Exists:
+    return existsRec(C, T.A, T.B, T.Depth);
+  case Task::RelProd:
+    return relProdRec(C, T.A, T.B, T.C, T.Depth);
+  }
+  __builtin_unreachable();
+}
+
+void ParallelEngine::runTask(WorkerCtx &C, Task &T) {
+  // Everything must be read from T before the release store: the moment
+  // Done is set, the forker's join() may return and the stack frame that
+  // owns T may unwind and be reused.
+  bool Stolen = T.Forker != &C;
+  T.Result = runTaskBody(C, T);
+  T.Done.store(1, std::memory_order_release);
+  C.TasksExecuted.bump();
+  if (Stolen)
+    C.TasksStolen.bump();
+}
+
+bool ParallelEngine::helpOne(WorkerCtx &C) {
+  Task *T;
+  {
+    std::lock_guard<std::mutex> L(QLock);
+    if (Queue.empty())
+      return false;
+    T = Queue.back(); // Most recent = best cache locality for helpers.
+    Queue.pop_back();
+  }
+  runTask(C, *T);
+  return true;
+}
+
+NodeRef ParallelEngine::join(WorkerCtx &C, Task &T) {
+  if (T.Done.load(std::memory_order_acquire) == 2)
+    return runTaskBody(C, T); // Never queued (pool saturated).
+
+  bool Mine = false;
+  {
+    std::lock_guard<std::mutex> L(QLock);
+    // Usually the task is still at the back where fork() pushed it.
+    auto It = std::find(Queue.rbegin(), Queue.rend(), &T);
+    if (It != Queue.rend()) {
+      Queue.erase(std::next(It).base());
+      Mine = true;
+    }
+  }
+  if (Mine)
+    return runTaskBody(C, T); // Claimed back; run inline.
+
+  // Someone popped it; help with other tasks until the result appears.
+  while (T.Done.load(std::memory_order_acquire) != 1)
+    if (!helpOne(C))
+      std::this_thread::yield();
+  return T.Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Concurrent node allocation
+//===----------------------------------------------------------------------===//
+
+NodeRef ParallelEngine::makeNode(WorkerCtx &C, uint32_t Var, NodeRef Low,
+                                 NodeRef High) {
+  assert(Var < M.TotalVars && "variable out of range");
+  assert(M.varOf(Low) > Var && M.varOf(High) > Var &&
+         "children must be below the new node in the order");
+  if (Low == High)
+    return Low;
+
+  // Buckets.size() is constant while parallel operations run (growth
+  // defers rehashing), so the mask is stable.
+  uint32_t Hash = Manager::hashTriple(Var, Low, High) &
+                  static_cast<uint32_t>(M.Buckets.size() - 1);
+  std::lock_guard<std::mutex> L(Shards[Hash & (NumShards - 1)]);
+  for (uint32_t N = M.Buckets[Hash]; N != Manager::NoNode;
+       N = M.Nodes[N].Next)
+    if (M.Nodes[N].Var == Var && M.Nodes[N].Low == Low &&
+        M.Nodes[N].High == High)
+      return N;
+
+  uint32_t N = allocNode(C);
+  Manager::Node &Nd = M.Nodes[N];
+  Nd.Var = Var;
+  Nd.Low = Low;
+  Nd.High = High;
+  Nd.Next = M.Buckets[Hash];
+  // The refcount is accessed atomically by unlocked handle drops on
+  // other threads; initialize it atomically too (plain stores to an
+  // atomically-accessed word are a data race).
+  std::atomic_ref<uint32_t>(Nd.RefCount).store(0, std::memory_order_relaxed);
+  M.Buckets[Hash] = N;
+  M.NodesCreatedMT.fetch_add(1, std::memory_order_relaxed);
+  return N;
+}
+
+uint32_t ParallelEngine::allocNode(WorkerCtx &C) {
+  if (C.LocalFree.empty())
+    refillLocalFree(C);
+  uint32_t N = C.LocalFree.back();
+  C.LocalFree.pop_back();
+  return N;
+}
+
+void ParallelEngine::refillLocalFree(WorkerCtx &C) {
+  constexpr unsigned Batch = 64;
+  std::lock_guard<std::mutex> L(M.FreeLock);
+  if (M.FreeHead == Manager::NoNode) {
+    // Global list exhausted mid-operation: grow. Chunked storage keeps
+    // every existing node at its address, so concurrent readers are
+    // unaffected; the bucket array is rehashed at the next exclusive
+    // point instead of here.
+    size_t Old = M.Nodes.size();
+    M.Nodes.growTo(Old * 2);
+    for (size_t I = M.Nodes.size(); I-- > Old;) {
+      M.Nodes[I].Var = Manager::VarFree;
+      M.Nodes[I].Low = M.FreeHead;
+      M.FreeHead = static_cast<uint32_t>(I);
+      ++M.FreeCount;
+    }
+  }
+  for (unsigned I = 0; I != Batch && M.FreeHead != Manager::NoNode; ++I) {
+    uint32_t N = M.FreeHead;
+    M.FreeHead = M.Nodes[N].Low;
+    --M.FreeCount;
+    C.LocalFree.push_back(N);
+  }
+  M.FreeApprox.store(M.FreeCount, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Parallel recursions
+//===----------------------------------------------------------------------===//
+// These mirror Manager's serial cores exactly (same terminal rules, same
+// cache keys) with three changes: the computed cache is per-thread, node
+// construction goes through the concurrent makeNode, and above the
+// cutoff depth the second cofactor recursion is forked as a task.
+
+NodeRef ParallelEngine::notRec(WorkerCtx &C, NodeRef F) {
+  if (F == FalseRef)
+    return TrueRef;
+  if (F == TrueRef)
+    return FalseRef;
+  NodeRef Result;
+  if (C.cacheLookup(Manager::TagNot, F, 0, 0, Result))
+    return Result;
+  Result = makeNode(C, M.Nodes[F].Var, notRec(C, M.Nodes[F].Low),
+                    notRec(C, M.Nodes[F].High));
+  C.cacheStore(Manager::TagNot, F, 0, 0, Result);
+  return Result;
+}
+
+NodeRef ParallelEngine::applyRec(WorkerCtx &C, Op Operator, NodeRef F,
+                                 NodeRef G, unsigned Depth) {
+  // Terminal rules per operator (kept in lockstep with the serial core).
+  switch (Operator) {
+  case Op::And:
+    if (F == FalseRef || G == FalseRef)
+      return FalseRef;
+    if (F == TrueRef)
+      return G;
+    if (G == TrueRef || F == G)
+      return F;
+    break;
+  case Op::Or:
+    if (F == TrueRef || G == TrueRef)
+      return TrueRef;
+    if (F == FalseRef)
+      return G;
+    if (G == FalseRef || F == G)
+      return F;
+    break;
+  case Op::Xor:
+    if (F == G)
+      return FalseRef;
+    if (F == FalseRef)
+      return G;
+    if (G == FalseRef)
+      return F;
+    if (F == TrueRef)
+      return notRec(C, G);
+    if (G == TrueRef)
+      return notRec(C, F);
+    break;
+  case Op::Diff:
+    if (F == FalseRef || G == TrueRef || F == G)
+      return FalseRef;
+    if (G == FalseRef)
+      return F;
+    if (F == TrueRef)
+      return notRec(C, G);
+    break;
+  case Op::Imp:
+    if (F == FalseRef || G == TrueRef || F == G)
+      return TrueRef;
+    if (F == TrueRef)
+      return G;
+    if (G == FalseRef)
+      return notRec(C, F);
+    break;
+  case Op::Biimp:
+    if (F == G)
+      return TrueRef;
+    if (F == TrueRef)
+      return G;
+    if (G == TrueRef)
+      return F;
+    if (F == FalseRef)
+      return notRec(C, G);
+    if (G == FalseRef)
+      return notRec(C, F);
+    break;
+  }
+
+  NodeRef A = F, B = G;
+  if ((Operator == Op::And || Operator == Op::Or || Operator == Op::Xor ||
+       Operator == Op::Biimp) &&
+      A > B)
+    std::swap(A, B);
+
+  uint32_t Tag = static_cast<uint32_t>(Operator);
+  NodeRef Result;
+  if (C.cacheLookup(Tag, A, B, 0, Result))
+    return Result;
+
+  uint32_t VarF = M.varOf(F), VarG = M.varOf(G);
+  uint32_t Var = std::min(VarF, VarG);
+  NodeRef F0 = VarF == Var ? M.Nodes[F].Low : F;
+  NodeRef F1 = VarF == Var ? M.Nodes[F].High : F;
+  NodeRef G0 = VarG == Var ? M.Nodes[G].Low : G;
+  NodeRef G1 = VarG == Var ? M.Nodes[G].High : G;
+
+  NodeRef Low, High;
+  if (Depth < CutoffDepth && !(M.isTerminal(F1) && M.isTerminal(G1))) {
+    Task T;
+    T.K = Task::Apply;
+    T.Operator = Operator;
+    T.A = F1;
+    T.B = G1;
+    T.Depth = Depth + 1;
+    fork(C, T);
+    Low = applyRec(C, Operator, F0, G0, Depth + 1);
+    High = join(C, T);
+  } else {
+    Low = applyRec(C, Operator, F0, G0, Depth + 1);
+    High = applyRec(C, Operator, F1, G1, Depth + 1);
+  }
+  Result = makeNode(C, Var, Low, High);
+  C.cacheStore(Tag, A, B, 0, Result);
+  return Result;
+}
+
+NodeRef ParallelEngine::iteRec(WorkerCtx &C, NodeRef F, NodeRef G, NodeRef H,
+                               unsigned Depth) {
+  if (F == TrueRef)
+    return G;
+  if (F == FalseRef)
+    return H;
+  if (G == H)
+    return G;
+  if (G == TrueRef && H == FalseRef)
+    return F;
+  if (G == FalseRef && H == TrueRef)
+    return notRec(C, F);
+
+  NodeRef Result;
+  if (C.cacheLookup(Manager::TagIte, F, G, H, Result))
+    return Result;
+
+  uint32_t Var = std::min({M.varOf(F), M.varOf(G), M.varOf(H)});
+  auto Cof = [&](NodeRef N, bool HighBranch) {
+    if (M.varOf(N) != Var)
+      return N;
+    return HighBranch ? M.Nodes[N].High : M.Nodes[N].Low;
+  };
+  NodeRef Low, High;
+  if (Depth < CutoffDepth) {
+    Task T;
+    T.K = Task::Ite;
+    T.A = Cof(F, true);
+    T.B = Cof(G, true);
+    T.C = Cof(H, true);
+    T.Depth = Depth + 1;
+    fork(C, T);
+    Low = iteRec(C, Cof(F, false), Cof(G, false), Cof(H, false), Depth + 1);
+    High = join(C, T);
+  } else {
+    Low = iteRec(C, Cof(F, false), Cof(G, false), Cof(H, false), Depth + 1);
+    High = iteRec(C, Cof(F, true), Cof(G, true), Cof(H, true), Depth + 1);
+  }
+  Result = makeNode(C, Var, Low, High);
+  C.cacheStore(Manager::TagIte, F, G, H, Result);
+  return Result;
+}
+
+NodeRef ParallelEngine::existsRec(WorkerCtx &C, NodeRef F, NodeRef CubeBdd,
+                                  unsigned Depth) {
+  if (M.isTerminal(F))
+    return F;
+  while (!M.isTerminal(CubeBdd) && M.varOf(CubeBdd) < M.varOf(F))
+    CubeBdd = M.Nodes[CubeBdd].High;
+  if (M.isTerminal(CubeBdd))
+    return F;
+
+  NodeRef Result;
+  if (C.cacheLookup(Manager::TagExists, F, CubeBdd, 0, Result))
+    return Result;
+
+  uint32_t Var = M.varOf(F);
+  NodeRef Low, High;
+  if (Depth < CutoffDepth && !M.isTerminal(M.Nodes[F].High)) {
+    Task T;
+    T.K = Task::Exists;
+    T.A = M.Nodes[F].High;
+    T.B = CubeBdd;
+    T.Depth = Depth + 1;
+    fork(C, T);
+    Low = existsRec(C, M.Nodes[F].Low, CubeBdd, Depth + 1);
+    High = join(C, T);
+  } else {
+    Low = existsRec(C, M.Nodes[F].Low, CubeBdd, Depth + 1);
+    High = existsRec(C, M.Nodes[F].High, CubeBdd, Depth + 1);
+  }
+  if (M.varOf(CubeBdd) == Var)
+    Result = applyRec(C, Op::Or, Low, High, Depth + 1);
+  else
+    Result = makeNode(C, Var, Low, High);
+  C.cacheStore(Manager::TagExists, F, CubeBdd, 0, Result);
+  return Result;
+}
+
+NodeRef ParallelEngine::relProdRec(WorkerCtx &C, NodeRef F, NodeRef G,
+                                   NodeRef CubeBdd, unsigned Depth) {
+  if (F == FalseRef || G == FalseRef)
+    return FalseRef;
+  if (F == TrueRef && G == TrueRef)
+    return TrueRef;
+
+  uint32_t Var = std::min(M.varOf(F), M.varOf(G));
+  while (!M.isTerminal(CubeBdd) && M.varOf(CubeBdd) < Var)
+    CubeBdd = M.Nodes[CubeBdd].High;
+  if (M.isTerminal(CubeBdd))
+    return applyRec(C, Op::And, F, G, Depth);
+
+  NodeRef Result;
+  if (C.cacheLookup(Manager::TagRelProd, F, G, CubeBdd, Result))
+    return Result;
+
+  NodeRef F0 = M.varOf(F) == Var ? M.Nodes[F].Low : F;
+  NodeRef F1 = M.varOf(F) == Var ? M.Nodes[F].High : F;
+  NodeRef G0 = M.varOf(G) == Var ? M.Nodes[G].Low : G;
+  NodeRef G1 = M.varOf(G) == Var ? M.Nodes[G].High : G;
+
+  if (M.varOf(CubeBdd) == Var) {
+    NodeRef NextCube = M.Nodes[CubeBdd].High;
+    if (Depth < CutoffDepth) {
+      // Forked form trades the serial x-OR-true short-circuit for
+      // parallelism; below the cutoff the short-circuit is kept.
+      Task T;
+      T.K = Task::RelProd;
+      T.A = F1;
+      T.B = G1;
+      T.C = NextCube;
+      T.Depth = Depth + 1;
+      fork(C, T);
+      NodeRef Low = relProdRec(C, F0, G0, NextCube, Depth + 1);
+      NodeRef High = join(C, T);
+      Result = applyRec(C, Op::Or, Low, High, Depth + 1);
+    } else {
+      NodeRef Low = relProdRec(C, F0, G0, NextCube, Depth + 1);
+      if (Low == TrueRef)
+        Result = TrueRef;
+      else
+        Result = applyRec(C, Op::Or, Low,
+                          relProdRec(C, F1, G1, NextCube, Depth + 1),
+                          Depth + 1);
+    }
+  } else {
+    NodeRef Low, High;
+    if (Depth < CutoffDepth) {
+      Task T;
+      T.K = Task::RelProd;
+      T.A = F1;
+      T.B = G1;
+      T.C = CubeBdd;
+      T.Depth = Depth + 1;
+      fork(C, T);
+      Low = relProdRec(C, F0, G0, CubeBdd, Depth + 1);
+      High = join(C, T);
+    } else {
+      Low = relProdRec(C, F0, G0, CubeBdd, Depth + 1);
+      High = relProdRec(C, F1, G1, CubeBdd, Depth + 1);
+    }
+    Result = makeNode(C, Var, Low, High);
+  }
+  C.cacheStore(Manager::TagRelProd, F, G, CubeBdd, Result);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Top-level entry points
+//===----------------------------------------------------------------------===//
+
+NodeRef ParallelEngine::apply(Op Operator, NodeRef F, NodeRef G) {
+  return applyRec(ctxForThisThread(), Operator, F, G, 0);
+}
+
+NodeRef ParallelEngine::ite(NodeRef F, NodeRef G, NodeRef H) {
+  return iteRec(ctxForThisThread(), F, G, H, 0);
+}
+
+NodeRef ParallelEngine::exists(NodeRef F, NodeRef CubeBdd) {
+  return existsRec(ctxForThisThread(), F, CubeBdd, 0);
+}
+
+NodeRef ParallelEngine::relProd(NodeRef F, NodeRef G, NodeRef CubeBdd) {
+  return relProdRec(ctxForThisThread(), F, G, CubeBdd, 0);
+}

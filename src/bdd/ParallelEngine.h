@@ -1,0 +1,136 @@
+//===- ParallelEngine.h - Multi-core BDD apply/relProd kernel ---*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The multi-core execution engine behind Manager's ParallelConfig
+/// (docs/parallelism.md). It parallelizes the apply-family recursions —
+/// apply, ite, exists and relProd — which is where the whole relational
+/// runtime spends its time (every operation of Section 3.2.2 lowers to
+/// them). The design follows the recipe HermesBDD demonstrates for these
+/// kernels:
+///
+///  * the unique table is shared and sharded: makeNode takes one of a
+///    fixed array of spinlock-style mutexes chosen by bucket index, so
+///    node creation scales while canonicity (hash consing) is preserved;
+///  * every participating thread owns a private computed cache, removing
+///    the single hottest point of contention at the cost of some
+///    duplicated subcomputation;
+///  * cofactor recursions above a configurable cutoff depth are forked
+///    into a small task pool; idle workers steal them, and a joining
+///    thread that finds its fork still queued runs it inline instead
+///    (help-first join), so no thread ever blocks while work is pending.
+///
+/// Node allocation uses per-thread free-node caches refilled in batches
+/// from the manager's global free list; pool growth appends stable-address
+/// chunks and defers unique-table rehashing to the next exclusive point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_BDD_PARALLELENGINE_H
+#define JEDDPP_BDD_PARALLELENGINE_H
+
+#include "bdd/Bdd.h"
+
+#include <condition_variable>
+#include <deque>
+#include <thread>
+
+namespace jedd {
+namespace bdd {
+
+class ParallelEngine {
+public:
+  ParallelEngine(Manager &M, const ParallelConfig &Cfg, size_t CacheSize);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine &) = delete;
+  ParallelEngine &operator=(const ParallelEngine &) = delete;
+
+  // Top-level parallel operations. Callers hold the manager's OpLock
+  // shared; any thread may call them concurrently.
+  NodeRef apply(Op Operator, NodeRef F, NodeRef G);
+  NodeRef ite(NodeRef F, NodeRef G, NodeRef H);
+  NodeRef exists(NodeRef F, NodeRef CubeBdd);
+  NodeRef relProd(NodeRef F, NodeRef G, NodeRef CubeBdd);
+
+  /// Called by the manager at the start of a collection (exclusive lock
+  /// held): returns privately cached free nodes and invalidates every
+  /// per-thread computed cache, since node slots are about to be reused.
+  void onGc();
+
+  /// Merges per-thread counters into \p S (cache totals, fork/steal
+  /// counts and the per-worker breakdown).
+  void collectStats(ManagerStats &S) const;
+
+private:
+  struct WorkerCtx;
+  struct Task;
+
+  Manager &M;
+  unsigned CutoffDepth;
+  unsigned NumShards;
+
+  /// Sharded unique-table locks; index = bucket & (NumShards - 1).
+  std::unique_ptr<std::mutex[]> Shards;
+
+  /// Engine identity for the thread-local context lookup (addresses can
+  /// be recycled across engines; serial numbers never are).
+  uint64_t Serial;
+
+  // All contexts ever handed out: pool workers first, then client
+  // threads in first-use order. Guarded by CtxLock.
+  mutable std::mutex CtxLock;
+  std::vector<std::unique_ptr<WorkerCtx>> Ctxs;
+
+  // Task pool: a single shared deque. Forks push to the back; workers
+  // pop from the front (oldest = biggest subproblems), the joining
+  // thread helps from the back (most recent = best locality). Popping
+  // under QLock is the exclusive claim — a popped task has exactly one
+  // executor, which is what keeps stack-allocated tasks safe.
+  std::mutex QLock;
+  std::condition_variable QCv;
+  std::deque<Task *> Queue;
+  bool Stop = false;
+  std::vector<std::thread> Threads;
+
+  WorkerCtx &ctxForThisThread();
+  void workerLoop(WorkerCtx &C);
+  /// Pops and runs one queued task on \p C. Returns false when the queue
+  /// was empty.
+  bool helpOne(WorkerCtx &C);
+  void runTask(WorkerCtx &C, Task &T);
+  NodeRef runTaskBody(WorkerCtx &C, const Task &T);
+  /// Forks \p T onto the queue (ownership stays with the caller's stack
+  /// frame; join() must be called before the frame unwinds).
+  void fork(WorkerCtx &C, Task &T);
+  /// Completes \p T: runs it inline if nobody claimed it yet, otherwise
+  /// helps with other tasks until the executor publishes the result.
+  NodeRef join(WorkerCtx &C, Task &T);
+
+  // Parallel recursion cores, mirroring Manager's serial ones but with a
+  // per-thread cache and the concurrent makeNode.
+  NodeRef applyRec(WorkerCtx &C, Op Operator, NodeRef F, NodeRef G,
+                   unsigned Depth);
+  NodeRef notRec(WorkerCtx &C, NodeRef F);
+  NodeRef iteRec(WorkerCtx &C, NodeRef F, NodeRef G, NodeRef H,
+                 unsigned Depth);
+  NodeRef existsRec(WorkerCtx &C, NodeRef F, NodeRef CubeBdd, unsigned Depth);
+  NodeRef relProdRec(WorkerCtx &C, NodeRef F, NodeRef G, NodeRef CubeBdd,
+                     unsigned Depth);
+
+  /// Thread-safe hash-consing node constructor.
+  NodeRef makeNode(WorkerCtx &C, uint32_t Var, NodeRef Low, NodeRef High);
+  /// Pops a free node from the per-thread cache, refilling from the
+  /// manager's free list (and growing the pool) as needed.
+  uint32_t allocNode(WorkerCtx &C);
+  void refillLocalFree(WorkerCtx &C);
+};
+
+} // namespace bdd
+} // namespace jedd
+
+#endif // JEDDPP_BDD_PARALLELENGINE_H

@@ -90,6 +90,43 @@ std::string Profiler::renderHtml() const {
                       S.MaxResultNodes);
   Html += "</table>";
 
+  // Parallel-engine efficiency, when the manager ran multi-core
+  // (docs/parallelism.md explains how to read these counters).
+  if (Parallel.NumThreads > 1) {
+    size_t TotalHits = 0, TotalLookups = 0;
+    for (const ParallelSnapshot::Worker &W : Parallel.Workers) {
+      TotalHits += W.CacheHits;
+      TotalLookups += W.CacheLookups;
+    }
+    double StealRatio =
+        Parallel.TasksForked
+            ? 100.0 * static_cast<double>(Parallel.TasksStolen) /
+                  static_cast<double>(Parallel.TasksForked)
+            : 0.0;
+    double HitRate =
+        TotalLookups ? 100.0 * static_cast<double>(TotalHits) /
+                           static_cast<double>(TotalLookups)
+                     : 0.0;
+    Html += strFormat(
+        "<h2>Parallel execution</h2>"
+        "<p>%u threads &middot; %zu parallel operations &middot; "
+        "%zu tasks forked, %zu stolen (%.1f%%) &middot; "
+        "per-thread cache hit rate %.1f%%</p>",
+        Parallel.NumThreads, Parallel.ParallelOps, Parallel.TasksForked,
+        Parallel.TasksStolen, StealRatio, HitRate);
+    Html += "<table><tr><th>thread</th><th>cache hits</th>"
+            "<th>cache lookups</th><th>forked</th><th>executed</th>"
+            "<th>stolen</th></tr>";
+    for (size_t I = 0; I != Parallel.Workers.size(); ++I) {
+      const ParallelSnapshot::Worker &W = Parallel.Workers[I];
+      Html += strFormat("<tr><td>%zu</td><td>%zu</td><td>%zu</td>"
+                        "<td>%zu</td><td>%zu</td><td>%zu</td></tr>",
+                        I, W.CacheHits, W.CacheLookups, W.TasksForked,
+                        W.TasksExecuted, W.TasksStolen);
+    }
+    Html += "</table>";
+  }
+
   // Detailed view.
   Html += "<h2>Individual executions</h2><table><tr><th>#</th>"
           "<th class=\"l\">operation</th><th class=\"l\">site</th>"

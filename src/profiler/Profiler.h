@@ -39,6 +39,25 @@ struct OpRecord {
   std::vector<size_t> ResultShape; ///< Nodes per BDD level.
 };
 
+/// Snapshot of a BDD manager's parallel-engine counters, mirrored from
+/// bdd::ManagerStats by the relational layer so the report can show
+/// parallel efficiency next to the operation profile. NumThreads == 1
+/// means the manager ran the serial engine and the section is omitted.
+struct ParallelSnapshot {
+  unsigned NumThreads = 1;
+  size_t ParallelOps = 0;  ///< Top-level ops dispatched to the pool.
+  size_t TasksForked = 0;  ///< Cofactor subproblems forked as tasks.
+  size_t TasksStolen = 0;  ///< Tasks run by a thread other than the forker.
+  struct Worker {
+    size_t CacheHits = 0;     ///< Private computed-cache hits.
+    size_t CacheLookups = 0;  ///< Private computed-cache probes.
+    size_t TasksForked = 0;
+    size_t TasksExecuted = 0;
+    size_t TasksStolen = 0;
+  };
+  std::vector<Worker> Workers; ///< Per-thread breakdown.
+};
+
 /// Aggregated view of all executions of one (kind, site) operation —
 /// the "overall profile view" of Section 4.3.
 struct OpSummary {
@@ -53,9 +72,19 @@ struct OpSummary {
 class Profiler {
 public:
   void record(OpRecord Record) { Records.push_back(std::move(Record)); }
-  void clear() { Records.clear(); }
+  void clear() {
+    Records.clear();
+    Parallel = ParallelSnapshot();
+  }
 
   const std::vector<OpRecord> &records() const { return Records; }
+
+  /// Installs the latest parallel-engine snapshot (counters are
+  /// cumulative, so the newest snapshot supersedes older ones).
+  void setParallel(ParallelSnapshot Snapshot) {
+    Parallel = std::move(Snapshot);
+  }
+  const ParallelSnapshot &parallel() const { return Parallel; }
 
   /// Per-(kind, site) aggregation, sorted by total time descending.
   std::vector<OpSummary> summarize() const;
@@ -70,6 +99,7 @@ public:
 
 private:
   std::vector<OpRecord> Records;
+  ParallelSnapshot Parallel;
 };
 
 } // namespace prof

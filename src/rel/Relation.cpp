@@ -48,6 +48,21 @@ public:
     R.ResultTuples = Result.size();
     R.ResultShape = U->manager().levelShape(Result.body());
     P->record(std::move(R));
+
+    // Keep the report's parallel-efficiency section current: counters
+    // are cumulative in the manager, so the latest snapshot wins.
+    if (U->manager().isParallel()) {
+      bdd::ManagerStats S = U->manager().stats();
+      prof::ParallelSnapshot Snap;
+      Snap.NumThreads = S.NumThreads;
+      Snap.ParallelOps = S.ParallelOps;
+      Snap.TasksForked = S.TasksForked;
+      Snap.TasksStolen = S.TasksStolen;
+      for (const bdd::WorkerStats &W : S.Workers)
+        Snap.Workers.push_back({W.CacheHits, W.CacheLookups, W.TasksForked,
+                                W.TasksExecuted, W.TasksStolen});
+      P->setParallel(std::move(Snap));
+    }
   }
 
 private:

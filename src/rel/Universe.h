@@ -85,8 +85,11 @@ public:
   PhysDomId addPhysicalDomain(std::string Name, unsigned Bits = 0);
 
   /// Freezes declarations, lays out BDD variables, creates the manager.
+  /// \p Par opts the manager into the multi-core execution engine
+  /// (docs/parallelism.md); the default stays serial.
   void finalize(bdd::BitOrder Order = bdd::BitOrder::Interleaved,
-                size_t InitialNodes = 1 << 16, size_t CacheSize = 1 << 18);
+                size_t InitialNodes = 1 << 16, size_t CacheSize = 1 << 18,
+                bdd::ParallelConfig Par = {});
   bool isFinalized() const { return PackPtr != nullptr; }
 
   //===--------------------------------------------------------------===//

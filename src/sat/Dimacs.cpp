@@ -67,7 +67,8 @@ bool jedd::sat::parseDimacs(const std::string &Text, CnfFormula &F,
       if (T.empty())
         continue;
       char *End = nullptr;
-      long Value = std::strtol(std::string(T).c_str(), &End, 10);
+      std::string TokStr(T); // keep alive: End points into this buffer
+      long Value = std::strtol(TokStr.c_str(), &End, 10);
       if (*End != '\0') {
         Error = "malformed literal: " + std::string(T);
         return false;

@@ -280,4 +280,69 @@ TEST(SatStats, CountsActivity) {
   EXPECT_GT(S.stats().Decisions, 0u);
 }
 
+//===----------------------------------------------------------------------===//
+// CDCL vs reference DPLL differential fuzz
+//===----------------------------------------------------------------------===//
+
+/// Random CNF with mixed clause lengths (1-4 literals), the shapes that
+/// shake out unit-propagation and conflict-analysis corner cases which
+/// uniform 3-SAT never produces.
+CnfFormula randomMixedCnf(SplitMix64 &Rng, unsigned NumVars,
+                          unsigned NumClauses) {
+  CnfFormula F;
+  F.NumVars = NumVars;
+  for (unsigned I = 0; I != NumClauses; ++I) {
+    unsigned Len = 1 + static_cast<unsigned>(Rng.nextBelow(4));
+    std::vector<Lit> C;
+    for (unsigned K = 0; K != Len; ++K)
+      C.push_back(mkLit(static_cast<Var>(Rng.nextBelow(NumVars)),
+                        Rng.nextChance(1, 2)));
+    F.addClause(std::move(C));
+  }
+  return F;
+}
+
+TEST(SatDifferential, CdclMatchesDpllOnRandomCnfs) {
+  // 500 seeded formulas spanning 4-10 variables and clause/variable
+  // ratios from trivially-sat to deeply-unsat. Verdicts must agree with
+  // the reference DPLL solver; on sat, both models must actually satisfy
+  // the formula.
+  unsigned Cases = 0, SatCount = 0, UnsatCount = 0;
+  SplitMix64 Rng(0xD1FF5A7);
+  for (unsigned I = 0; I != 500; ++I) {
+    unsigned NumVars = 4 + static_cast<unsigned>(Rng.nextBelow(7));
+    // Ratio 1x..6x variables, covering both phases of the sat threshold.
+    unsigned NumClauses = NumVars * (1 + static_cast<unsigned>(Rng.nextBelow(6)));
+    CnfFormula F = Rng.nextChance(1, 3)
+                       ? randomThreeSat(Rng, NumVars, NumClauses)
+                       : randomMixedCnf(Rng, NumVars, NumClauses);
+
+    Solver Cdcl;
+    Cdcl.addFormula(F);
+    Result Got = Cdcl.solve();
+
+    DpllSolver Dpll(F);
+    Result Want = Dpll.solve();
+
+    ASSERT_EQ(Got == Result::Sat, Want == Result::Sat)
+        << "verdict mismatch on case " << I << " (vars=" << NumVars
+        << ", clauses=" << NumClauses << ")";
+    if (Got == Result::Sat) {
+      EXPECT_TRUE(checkModel(F, Cdcl.model())) << "CDCL model invalid, case "
+                                               << I;
+      EXPECT_TRUE(checkModel(F, Dpll.model())) << "DPLL model invalid, case "
+                                               << I;
+      ++SatCount;
+    } else {
+      EXPECT_TRUE(verifyCore(F, Cdcl.unsatCore())) << "bad core, case " << I;
+      ++UnsatCount;
+    }
+    ++Cases;
+  }
+  EXPECT_EQ(Cases, 500u);
+  // The ratio sweep must actually produce both outcomes in bulk.
+  EXPECT_GT(SatCount, 50u);
+  EXPECT_GT(UnsatCount, 50u);
+}
+
 } // namespace

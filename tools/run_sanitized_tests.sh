@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+#===- run_sanitized_tests.sh - Sanitized builds of the test suite --------===#
+#
+# Part of jeddpp. Configures, builds, and runs the tier-1 suite under the
+# two sanitizer configurations the project supports:
+#
+#   * ThreadSanitizer, running the parallel/stress tests (label "stress")
+#     plus the BDD differential harness — the tests that exercise the
+#     multi-core engine of docs/parallelism.md;
+#   * AddressSanitizer + UndefinedBehaviorSanitizer, running everything.
+#
+# Usage: tools/run_sanitized_tests.sh [thread|address|all]   (default: all)
+#
+# Build trees go to build-tsan/ and build-asan/ next to build/ so they
+# never disturb the regular configuration.
+#
+#===----------------------------------------------------------------------===#
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+MODE="${1:-all}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+run_thread() {
+  echo "=== ThreadSanitizer: parallel + differential tests ==="
+  cmake -S "$ROOT" -B "$ROOT/build-tsan" -DJEDDPP_SANITIZE=thread \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$ROOT/build-tsan" -j "$JOBS" \
+        --target bdd_parallel_test bdd_differential_test
+  (cd "$ROOT/build-tsan" && ctest --output-on-failure -L stress)
+  TSAN_OPTIONS="halt_on_error=1" \
+      "$ROOT/build-tsan/tests/bdd_differential_test"
+}
+
+run_address() {
+  echo "=== AddressSanitizer + UBSan: full suite ==="
+  cmake -S "$ROOT" -B "$ROOT/build-asan" -DJEDDPP_SANITIZE=address \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$ROOT/build-asan" -j "$JOBS"
+  (cd "$ROOT/build-asan" &&
+       ASAN_OPTIONS="detect_leaks=0" ctest --output-on-failure -j "$JOBS")
+}
+
+case "$MODE" in
+thread) run_thread ;;
+address) run_address ;;
+all)
+  run_thread
+  run_address
+  ;;
+*)
+  echo "usage: $0 [thread|address|all]" >&2
+  exit 2
+  ;;
+esac
+
+echo "All sanitized runs passed."

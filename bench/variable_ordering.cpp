@@ -10,11 +10,16 @@
 /// determines its size, and therefore the speed of operations performed
 /// on it" (Section 3.3.1) — the reason Jedd ships a profiler and lets
 /// the user pick orderings. This ablation runs the points-to analysis
-/// under the two orderings the DomainPack supports:
+/// under the two static orderings the DomainPack supports, plus dynamic
+/// block sifting (docs/reordering.md) on top of the interleaved layout:
 ///
 ///   interleaved — bit k of every physical domain adjacent (the layout
 ///                 Berndl et al. [5] found essential);
-///   sequential  — each physical domain's bits contiguous.
+///   sequential  — each physical domain's bits contiguous;
+///   dynamic     — sequential start (whole domains are the sifting
+///                 blocks, which gives the reorderer the most freedom),
+///                 auto-reordering during the solve and one final
+///                 forced sifting pass.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,6 +32,16 @@
 using namespace jedd;
 using namespace jedd::analysis;
 
+namespace {
+
+struct Config {
+  const char *Name;
+  bdd::BitOrder Order;
+  bool Dynamic;
+};
+
+} // namespace
+
 int main() {
   soot::Program P =
       soot::generateProgram(soot::benchmarkPreset("compress"));
@@ -38,35 +53,75 @@ int main() {
               "time (s)", "pt (pairs)", "pt (BDD nodes)", "nodes created");
   std::printf("%s\n", std::string(74, '-').c_str());
 
-  double Sizes[2] = {0, 0};
-  int Index = 0;
-  for (auto [Name, Order] :
-       {std::pair<const char *, bdd::BitOrder>{"interleaved",
-                                               bdd::BitOrder::Interleaved},
-        std::pair<const char *, bdd::BitOrder>{"sequential",
-                                               bdd::BitOrder::Sequential}}) {
+  const Config Configs[] = {
+      {"interleaved", bdd::BitOrder::Interleaved, false},
+      {"sequential", bdd::BitOrder::Sequential, false},
+      {"dynamic", bdd::BitOrder::Sequential, true},
+  };
+  double Sizes[3] = {0, 0, 0};
+  size_t PtNodes[3] = {0, 0, 0};
+  for (int Index = 0; Index != 3; ++Index) {
+    const Config &C = Configs[Index];
+    bdd::ReorderConfig Reorder;
+    Reorder.Auto = C.Dynamic;
     auto T0 = std::chrono::steady_clock::now();
-    AnalysisUniverse AU(P, Order);
+    AnalysisUniverse AU(P, C.Order, Reorder);
     PointsToAnalysis PTA(AU);
     for (size_t M = 0; M != P.Methods.size(); ++M)
       PTA.addMethodFacts(static_cast<soot::Id>(M));
     for (auto &[Src, Dst] : Extra)
       PTA.addAssignEdge(Src, Dst);
     PTA.solve();
+    if (C.Dynamic) {
+      // The analysis is done; release the input fact relations so the
+      // final sifting passes minimize the results rather than the sum
+      // of results and dead inputs.
+      PTA.AllocR = rel::Relation();
+      PTA.AssignR = rel::Relation();
+      PTA.LoadR = rel::Relation();
+      PTA.StoreR = rel::Relation();
+      // Forced passes to convergence, so the reported size reflects the
+      // best order sifting can find for the finished result, not
+      // whatever point of the solve the auto trigger last fired at.
+      size_t Prev = ~size_t(0);
+      for (int Pass = 0; Pass != 5; ++Pass) {
+        AU.U.manager().reorder();
+        size_t Live = AU.U.manager().liveNodeCount();
+        if (Live >= Prev)
+          break;
+        Prev = Live;
+      }
+      bdd::ReorderStats RS = AU.U.manager().reorderStats();
+      std::printf("  (sifting: %zu passes, %zu block moves, "
+                  "%zu level swaps, %llu us)\n",
+                  RS.Runs, RS.BlockMoves, RS.Swaps,
+                  static_cast<unsigned long long>(RS.Micros));
+    }
     auto T1 = std::chrono::steady_clock::now();
-    Sizes[Index++] = PTA.Pt.size();
-    std::printf("%-12s | %10.3f | %12.0f | %14zu | %14zu\n", Name,
+    Sizes[Index] = PTA.Pt.size();
+    PtNodes[Index] = PTA.Pt.nodeCount();
+    std::printf("%-12s | %10.3f | %12.0f | %14zu | %14zu\n", C.Name,
                 std::chrono::duration<double>(T1 - T0).count(),
-                PTA.Pt.size(), PTA.Pt.nodeCount(),
+                Sizes[Index], PtNodes[Index],
                 AU.U.manager().stats().NodesCreated);
   }
-  if (Sizes[0] != Sizes[1]) {
+  if (Sizes[0] != Sizes[1] || Sizes[0] != Sizes[2]) {
     std::fprintf(stderr, "error: orderings computed different results\n");
     return 1;
   }
-  std::printf("\nBoth orderings compute identical relations; the BDD "
+  size_t BestStatic = std::min(PtNodes[0], PtNodes[1]);
+  if (PtNodes[2] > BestStatic) {
+    std::fprintf(stderr,
+                 "error: dynamic reordering ended with %zu points-to "
+                 "nodes, worse than the best static order's %zu\n",
+                 PtNodes[2], BestStatic);
+    return 1;
+  }
+  std::printf("\nAll orderings compute identical relations; the BDD "
               "sizes and times differ, which is exactly why the\n"
               "paper separates logical attributes from physical domains "
-              "and ships a profiler for tuning (Section 4.3).\n");
+              "and ships a profiler for tuning (Section 4.3).\n"
+              "Dynamic sifting matches or beats the best static order "
+              "without knowing it in advance.\n");
   return 0;
 }

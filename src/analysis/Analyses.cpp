@@ -22,7 +22,8 @@ using soot::Program;
 // AnalysisUniverse
 //===----------------------------------------------------------------------===//
 
-AnalysisUniverse::AnalysisUniverse(const Program &Prog, bdd::BitOrder Order)
+AnalysisUniverse::AnalysisUniverse(const Program &Prog, bdd::BitOrder Order,
+                                   bdd::ReorderConfig Reorder)
     : Prog(Prog) {
   auto Sz = [](size_t N) { return std::max<uint64_t>(N, 1); };
   DVar = U.addDomain("Var", Sz(Prog.NumVars));
@@ -71,7 +72,7 @@ AnalysisUniverse::AnalysisUniverse(const Program &Prog, bdd::BitOrder Order)
   F1 = U.addPhysicalDomain("F1", BF);
   C1 = U.addPhysicalDomain("C1", BC);
 
-  U.finalize(Order, 1 << 16, 1 << 18);
+  U.finalize(Order, 1 << 16, 1 << 18, {}, Reorder);
 }
 
 //===----------------------------------------------------------------------===//

@@ -38,7 +38,8 @@ namespace analysis {
 class AnalysisUniverse {
 public:
   explicit AnalysisUniverse(const soot::Program &Prog,
-                            bdd::BitOrder Order = bdd::BitOrder::Interleaved);
+                            bdd::BitOrder Order = bdd::BitOrder::Interleaved,
+                            bdd::ReorderConfig Reorder = {});
 
   rel::Universe U;
   const soot::Program &Prog;

@@ -29,6 +29,7 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -74,6 +75,58 @@ struct ParallelConfig {
   /// below it the recursion runs inline on the current thread. Small
   /// values expose more parallelism, large values reduce task overhead.
   unsigned CutoffDepth = 6;
+};
+
+/// Configuration of dynamic variable reordering (docs/reordering.md).
+/// Reordering runs Rudell sifting over whole variable *blocks* (physical
+/// domains or interleaved bit groups, see Manager::setBlocks) at the
+/// exclusive points the parallel engine already uses for GC/rehash, so
+/// every DomainPack attribute encoding stays valid without re-encoding.
+struct ReorderConfig {
+  /// Trigger a sifting pass automatically when the live node count has
+  /// grown by GrowthFactor since the last pass (checked right after a
+  /// collection, so garbage never inflates the trigger).
+  bool Auto = false;
+  /// Growth ratio of live nodes that arms the automatic trigger.
+  double GrowthFactor = 2.0;
+  /// Automatic passes never run below this many live nodes.
+  size_t MinNodes = 1 << 12;
+  /// A block stops sifting in one direction once the total live size
+  /// exceeds MaxGrowth times the best size seen for this block.
+  double MaxGrowth = 1.2;
+};
+
+/// Counters of the reordering machinery, surfaced in the profiler's
+/// reorder section. NodesBefore/NodesAfter describe the last pass;
+/// the rest accumulate over the manager's lifetime.
+struct ReorderStats {
+  size_t Runs = 0;       ///< Completed sifting passes.
+  size_t Swaps = 0;      ///< Adjacent-level swaps performed.
+  size_t BlockMoves = 0; ///< Adjacent-block exchanges performed.
+  size_t NodesBefore = 0; ///< Live nodes entering the last pass.
+  size_t NodesAfter = 0;  ///< Live nodes leaving the last pass.
+  uint64_t Micros = 0;    ///< Total wall time spent reordering.
+};
+
+/// An exact 128-bit satisfying-assignment count. Counts above 2^128 - 1
+/// are reported as saturated rather than silently truncated (the double
+/// API loses exactness already above 2^53, which is what this fixes).
+struct SatCount {
+  uint64_t Hi = 0;
+  uint64_t Lo = 0;
+  bool Saturated = false;
+
+  bool isExact() const { return !Saturated; }
+  double toDouble() const;
+  /// Decimal rendering; saturated counts render as ">=2^128".
+  std::string toString() const;
+
+  friend bool operator==(const SatCount &A, const SatCount &B) {
+    return A.Hi == B.Hi && A.Lo == B.Lo && A.Saturated == B.Saturated;
+  }
+  friend bool operator!=(const SatCount &A, const SatCount &B) {
+    return !(A == B);
+  }
 };
 
 /// A reference-counted handle to a BDD node. Copying a handle bumps the
@@ -148,11 +201,22 @@ struct ManagerStats {
   size_t TasksForked = 0;           ///< Total forked tasks.
   size_t TasksStolen = 0;           ///< Tasks run by a non-forking thread.
   std::vector<WorkerStats> Workers; ///< Per-thread breakdown.
+
+  // Reordering counters; all zero until the first sifting pass.
+  size_t ReorderRuns = 0;
+  size_t ReorderSwaps = 0;
+  size_t ReorderBlockMoves = 0;
+  size_t ReorderNodesBefore = 0;
+  size_t ReorderNodesAfter = 0;
+  uint64_t ReorderMicros = 0;
 };
 
 /// The BDD manager: node pool, unique table, computed cache, and all
-/// operations. One manager owns one global variable order; variables are
-/// identified by their level (0 = topmost).
+/// operations. One manager owns one global variable order. Variables are
+/// stable identifiers; their position in the order is a *level*
+/// (0 = topmost) looked up through a var<->level indirection, which is
+/// what lets dynamic reordering move variables without touching client
+/// code or stored encodings. The initial order is the identity.
 ///
 /// The variable space is split in two halves: "real" variables
 /// [0, numVars()) that clients use, and a hidden scratch region used by
@@ -230,8 +294,14 @@ public:
   //===--------------------------------------------------------------===//
 
   /// Number of satisfying assignments over all numVars() variables.
-  /// Relations divide out the unused-physical-domain wildcards.
+  /// Relations divide out the unused-physical-domain wildcards. Exact up
+  /// to 2^53 (routed through satCountExact); larger counts fall back to
+  /// floating point.
   double satCount(const Bdd &F);
+
+  /// Exact satisfying-assignment count over all numVars() variables;
+  /// counts that do not fit 128 bits come back marked saturated.
+  SatCount satCountExact(const Bdd &F);
 
   /// Number of internal nodes (excluding terminals) in F.
   size_t nodeCount(const Bdd &F);
@@ -255,6 +325,34 @@ public:
 
   /// Graphviz dump for debugging.
   std::string toDot(const Bdd &F);
+
+  //===--------------------------------------------------------------===//
+  // Dynamic variable reordering
+  //===--------------------------------------------------------------===//
+
+  /// Runs one block-sifting pass now. In parallel mode this takes the
+  /// exclusive operation lock (same exclusion as GC); all outstanding
+  /// Bdd handles stay valid and keep their semantics.
+  void reorder();
+
+  /// Installs the reordering policy. Auto-triggered passes run at the
+  /// same exclusive points collections do.
+  void setReorderConfig(const ReorderConfig &Cfg);
+  ReorderConfig reorderConfig() const;
+
+  /// Declares the units sifting moves: each block is a set of client
+  /// variables currently occupying contiguous levels (a physical domain,
+  /// or one interleaved bit group). Blocks must be disjoint; variables
+  /// not covered by any block sift as singletons. Reordering permutes
+  /// whole blocks and never breaks one apart.
+  void setBlocks(std::vector<std::vector<unsigned>> BlockList);
+
+  ReorderStats reorderStats() const;
+
+  /// Current level of a client variable / variable at a level. Identity
+  /// until the first reorder.
+  unsigned levelOfVar(unsigned Var) const;
+  unsigned varAtLevel(unsigned Level) const;
 
   //===--------------------------------------------------------------===//
   // Memory management
@@ -350,6 +448,21 @@ private:
   unsigned NumVars;
   unsigned TotalVars; ///< NumVars real + NumVars scratch.
 
+  /// The var<->level indirection. Nodes store the stable variable index;
+  /// every recursion compares positions through these maps, and sifting
+  /// reorders by permuting them (CUDD's scheme — "stays" nodes need no
+  /// rewriting on a swap). Scratch variables are pinned below all client
+  /// levels and never move.
+  std::vector<uint32_t> VarToLevel;
+  std::vector<uint32_t> LevelToVar;
+
+  /// Level of a variable; terminal/free sentinels map to themselves so
+  /// they still compare below ("deeper than") every proper variable.
+  uint32_t levelOf(uint32_t Var) const {
+    return Var >= TotalVars ? Var : VarToLevel[Var];
+  }
+  uint32_t levelOfNode(NodeRef N) const { return levelOf(Nodes[N].Var); }
+
   NodePool Nodes;
   std::vector<uint32_t> Buckets; ///< Unique table heads; size power of 2.
   uint32_t FreeHead = NoNode;
@@ -394,6 +507,53 @@ private:
   size_t CacheHits = 0;
   size_t CacheLookups = 0;
   size_t NodesCreated = 0;
+
+  //===--------------------------------------------------------------===//
+  // Reordering state (Reorder.cpp)
+  //===--------------------------------------------------------------===//
+
+  ReorderConfig RCfg;
+  ReorderStats RStats;
+  /// Live node count after the last pass (or MinNodes); the automatic
+  /// trigger fires when live nodes exceed Baseline * GrowthFactor.
+  size_t ReorderBaseline;
+  /// Precomputed live-node threshold arming the automatic trigger, or
+  /// SIZE_MAX when Auto is off. Atomic so the parallel pre-lock
+  /// heuristic (maybeGcShared) can read it without the OpLock.
+  std::atomic<size_t> ReorderTrigger{~size_t(0)};
+  bool InReorder = false;
+  /// Sifting units as declared by setBlocks (client variable sets).
+  std::vector<std::vector<unsigned>> Blocks;
+  /// Per-variable node lists, maintained only while a pass runs.
+  std::vector<std::vector<NodeRef>> VarNodes;
+
+  void updateReorderTrigger();
+  bool reorderDueImpl() const;
+  void reorderImpl(bool Force);
+  void buildVarNodesImpl();
+  /// Unique-table maintenance for in-place node rewrites.
+  void bucketRemove(NodeRef N);
+  void bucketInsert(NodeRef N);
+  /// Exchanges the variables at \p Level and \p Level + 1 in place;
+  /// externally referenced nodes keep their NodeRef and semantics.
+  void swapAdjacentLevels(unsigned Level);
+  /// Exchanges the adjacent blocks of \p WidthX and \p WidthY variables
+  /// starting at \p StartLevel (WidthX * WidthY adjacent swaps).
+  void swapAdjacentBlocksAt(unsigned StartLevel, unsigned WidthX,
+                            unsigned WidthY);
+
+  /// Registry assigning each distinct replace() map a stable cache-tag
+  /// id. Owned by the manager (not thread-local, not global): tags index
+  /// this manager's computed cache, so two managers — or two threads —
+  /// must never derive the same tag from different maps.
+  std::map<std::vector<int>, uint32_t> ReplaceMapIds;
+  std::mutex ReplaceMapLock;
+
+#ifndef NDEBUG
+  /// True when the serial cache and every per-thread cache hold no valid
+  /// entry; asserted after collections and reorders.
+  bool cachesEmptyImpl() const;
+#endif
 
   uint32_t varOf(NodeRef N) const { return Nodes[N].Var; }
   bool isTerminal(NodeRef N) const { return N <= TrueRef; }
@@ -443,6 +603,12 @@ private:
 
   double satCountRec(NodeRef F,
                      std::unordered_map<NodeRef, double> &Memo);
+
+  SatCount satCountExactImpl(NodeRef Root);
+  unsigned __int128
+  satCountExactRec(NodeRef F,
+                   std::unordered_map<NodeRef, unsigned __int128> &Memo,
+                   bool &Saturated);
 
   /// True if Map (over support vars of F) preserves relative variable
   /// order, enabling the single-recursion replace fast path.

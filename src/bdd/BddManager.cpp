@@ -157,6 +157,14 @@ Manager::Manager(unsigned NumVars, size_t InitialNodes, size_t CacheSize,
   Cache.assign(roundUpPow2(std::max<size_t>(CacheSize, 1024)), CacheEntry());
   CacheMask = Cache.size() - 1;
 
+  // Identity order; reordering permutes these maps later. Scratch
+  // variables [NumVars, TotalVars) keep their levels forever.
+  VarToLevel.resize(TotalVars);
+  LevelToVar.resize(TotalVars);
+  for (unsigned V = 0; V != TotalVars; ++V)
+    VarToLevel[V] = LevelToVar[V] = V;
+  ReorderBaseline = RCfg.MinNodes;
+
   if (ParCfg.NumThreads == 0)
     ParCfg.NumThreads = std::max(1u, std::thread::hardware_concurrency());
   ParMode = ParCfg.NumThreads > 1;
@@ -169,7 +177,7 @@ Manager::~Manager() = default;
 
 NodeRef Manager::makeNode(uint32_t Var, NodeRef Low, NodeRef High) {
   assert(Var < TotalVars && "variable out of range");
-  assert(varOf(Low) > Var && varOf(High) > Var &&
+  assert(levelOfNode(Low) > levelOf(Var) && levelOfNode(High) > levelOf(Var) &&
          "children must be below the new node in the order");
   if (Low == High)
     return Low;
@@ -208,7 +216,10 @@ void Manager::growPool() {
     ++FreeCount;
   }
   FreeApprox.store(FreeCount, std::memory_order_relaxed);
-  if (Nodes.size() > 2 * Buckets.size())
+  // During a sifting swap a node may be transiently out of its bucket;
+  // rehashing would re-link it by its stale fields and cross-link the
+  // chains. Reordering rehashes at its own collection points instead.
+  if (!InReorder && Nodes.size() > 2 * Buckets.size())
     rehash();
 }
 
@@ -270,22 +281,38 @@ void Manager::gcImpl() {
   clearCache();
   FreeApprox.store(FreeCount, std::memory_order_relaxed);
   ++GcRuns;
+  assert(cachesEmptyImpl() &&
+         "computed caches must be empty after a collection");
 }
 
 void Manager::gcIfNeededImpl() {
   if (ParMode && Nodes.size() > 2 * Buckets.size())
     rehash(); // Deferred from concurrent pool growth.
-  if (FreeCount * 8 < Nodes.size())
+  if (FreeCount * 8 < Nodes.size()) {
     gcImpl();
+    // The automatic reorder trigger is evaluated only right after a
+    // collection: live == allocated here, so garbage never inflates the
+    // growth measurement, and this point sits between operations where
+    // no recursion holds raw NodeRefs into unprotected intermediates.
+    if (reorderDueImpl())
+      reorderImpl(/*Force=*/false);
+  }
 }
 
 void Manager::exclusiveProlog() { gcIfNeededImpl(); }
 
 void Manager::maybeGcShared() {
-  if (FreeApprox.load(std::memory_order_relaxed) * 8 >= Nodes.size())
+  size_t FreeA = FreeApprox.load(std::memory_order_relaxed);
+  size_t Cap = Nodes.size();
+  size_t LiveA = Cap > FreeA + 2 ? Cap - FreeA - 2 : 0;
+  bool WantGc = FreeA * 8 < Cap;
+  bool WantReorder = LiveA >= ReorderTrigger.load(std::memory_order_relaxed);
+  if (!WantGc && !WantReorder)
     return;
   std::unique_lock<std::shared_mutex> Lock(OpLock);
-  gcIfNeededImpl(); // Rechecks under the lock.
+  gcIfNeededImpl(); // Rechecks under the lock; runs a due reorder too.
+  if (reorderDueImpl())
+    reorderImpl(/*Force=*/false);
 }
 
 void Manager::gc() {
@@ -338,6 +365,14 @@ size_t Manager::liveNodeCount() {
 
 ManagerStats Manager::stats() const {
   ManagerStats S;
+  auto FillReorder = [&] {
+    S.ReorderRuns = RStats.Runs;
+    S.ReorderSwaps = RStats.Swaps;
+    S.ReorderBlockMoves = RStats.BlockMoves;
+    S.ReorderNodesBefore = RStats.NodesBefore;
+    S.ReorderNodesAfter = RStats.NodesAfter;
+    S.ReorderMicros = RStats.Micros;
+  };
   if (ParMode) {
     // Shared lock: consistent against GC/rehash but callable while
     // operations are in flight (counters are then approximate).
@@ -355,6 +390,7 @@ ManagerStats Manager::stats() const {
         NodesCreated + NodesCreatedMT.load(std::memory_order_relaxed);
     S.NumThreads = ParCfg.NumThreads;
     S.ParallelOps = ParallelOpsMT.load(std::memory_order_relaxed);
+    FillReorder();
     Par->collectStats(S);
     return S;
   }
@@ -365,6 +401,7 @@ ManagerStats Manager::stats() const {
   S.CacheHits = CacheHits;
   S.CacheLookups = CacheLookups;
   S.NodesCreated = NodesCreated;
+  FillReorder();
   return S;
 }
 
@@ -492,16 +529,16 @@ NodeRef Manager::applyRec(Op Operator, NodeRef F, NodeRef G) {
   if (cacheLookup(Tag, A, B, 0, Result))
     return Result;
 
-  uint32_t VarF = varOf(F), VarG = varOf(G);
-  uint32_t Var = std::min(VarF, VarG);
-  NodeRef F0 = VarF == Var ? Nodes[F].Low : F;
-  NodeRef F1 = VarF == Var ? Nodes[F].High : F;
-  NodeRef G0 = VarG == Var ? Nodes[G].Low : G;
-  NodeRef G1 = VarG == Var ? Nodes[G].High : G;
+  uint32_t LvlF = levelOfNode(F), LvlG = levelOfNode(G);
+  uint32_t Lvl = std::min(LvlF, LvlG);
+  NodeRef F0 = LvlF == Lvl ? Nodes[F].Low : F;
+  NodeRef F1 = LvlF == Lvl ? Nodes[F].High : F;
+  NodeRef G0 = LvlG == Lvl ? Nodes[G].Low : G;
+  NodeRef G1 = LvlG == Lvl ? Nodes[G].High : G;
 
   NodeRef Low = applyRec(Operator, F0, G0);
   NodeRef High = applyRec(Operator, F1, G1);
-  Result = makeNode(Var, Low, High);
+  Result = makeNode(LevelToVar[Lvl], Low, High);
   cacheStore(Tag, A, B, 0, Result);
   return Result;
 }
@@ -559,15 +596,15 @@ NodeRef Manager::iteRec(NodeRef F, NodeRef G, NodeRef H) {
   if (cacheLookup(TagIte, F, G, H, Result))
     return Result;
 
-  uint32_t Var = std::min({varOf(F), varOf(G), varOf(H)});
+  uint32_t Lvl = std::min({levelOfNode(F), levelOfNode(G), levelOfNode(H)});
   auto Cof = [&](NodeRef N, bool HighBranch) {
-    if (varOf(N) != Var)
+    if (levelOfNode(N) != Lvl)
       return N;
     return HighBranch ? Nodes[N].High : Nodes[N].Low;
   };
   NodeRef Low = iteRec(Cof(F, false), Cof(G, false), Cof(H, false));
   NodeRef High = iteRec(Cof(F, true), Cof(G, true), Cof(H, true));
-  Result = makeNode(Var, Low, High);
+  Result = makeNode(LevelToVar[Lvl], Low, High);
   cacheStore(TagIte, F, G, H, Result);
   return Result;
 }
@@ -591,15 +628,22 @@ Bdd Manager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
 
 Bdd Manager::cube(const std::vector<unsigned> &Vars) {
   std::vector<unsigned> Sorted(Vars);
-  std::sort(Sorted.begin(), Sorted.end());
-  assert(std::adjacent_find(Sorted.begin(), Sorted.end()) == Sorted.end() &&
-         "duplicate variable in cube");
+#ifndef NDEBUG
+  for (unsigned V : Sorted)
+    assert(V < TotalVars && "cube variable out of range");
+#endif
   auto Build = [&] {
+    // The chain must be built in level order (top to bottom), which is
+    // no longer the variable-index order once reordering has run. The
+    // sort runs under the lock: a concurrent reorder may move levels.
+    std::sort(Sorted.begin(), Sorted.end(), [&](unsigned A, unsigned B) {
+      return VarToLevel[A] < VarToLevel[B];
+    });
+    assert(std::adjacent_find(Sorted.begin(), Sorted.end()) == Sorted.end() &&
+           "duplicate variable in cube");
     NodeRef Result = TrueRef;
-    for (size_t I = Sorted.size(); I-- > 0;) {
-      assert(Sorted[I] < TotalVars && "cube variable out of range");
+    for (size_t I = Sorted.size(); I-- > 0;)
       Result = makeNode(Sorted[I], FalseRef, Result);
-    }
     return Bdd(this, Result);
   };
   if (ParMode) {
@@ -615,7 +659,7 @@ NodeRef Manager::existsRec(NodeRef F, NodeRef CubeBdd) {
   if (isTerminal(F))
     return F;
   // Skip quantified variables above F's top variable.
-  while (!isTerminal(CubeBdd) && varOf(CubeBdd) < varOf(F))
+  while (!isTerminal(CubeBdd) && levelOfNode(CubeBdd) < levelOfNode(F))
     CubeBdd = Nodes[CubeBdd].High;
   if (isTerminal(CubeBdd))
     return F;
@@ -654,8 +698,9 @@ NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
   if (F == TrueRef && G == TrueRef)
     return TrueRef;
 
-  uint32_t Var = std::min(varOf(F), varOf(G));
-  while (!isTerminal(CubeBdd) && varOf(CubeBdd) < Var)
+  uint32_t LvlF = levelOfNode(F), LvlG = levelOfNode(G);
+  uint32_t Lvl = std::min(LvlF, LvlG);
+  while (!isTerminal(CubeBdd) && levelOfNode(CubeBdd) < Lvl)
     CubeBdd = Nodes[CubeBdd].High;
   if (isTerminal(CubeBdd))
     return applyRec(Op::And, F, G);
@@ -664,12 +709,12 @@ NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
   if (cacheLookup(TagRelProd, F, G, CubeBdd, Result))
     return Result;
 
-  NodeRef F0 = varOf(F) == Var ? Nodes[F].Low : F;
-  NodeRef F1 = varOf(F) == Var ? Nodes[F].High : F;
-  NodeRef G0 = varOf(G) == Var ? Nodes[G].Low : G;
-  NodeRef G1 = varOf(G) == Var ? Nodes[G].High : G;
+  NodeRef F0 = LvlF == Lvl ? Nodes[F].Low : F;
+  NodeRef F1 = LvlF == Lvl ? Nodes[F].High : F;
+  NodeRef G0 = LvlG == Lvl ? Nodes[G].Low : G;
+  NodeRef G1 = LvlG == Lvl ? Nodes[G].High : G;
 
-  if (varOf(CubeBdd) == Var) {
+  if (levelOfNode(CubeBdd) == Lvl) {
     NodeRef Low = relProdRec(F0, G0, Nodes[CubeBdd].High);
     // Short-circuit: x OR true == true.
     if (Low == TrueRef)
@@ -679,7 +724,7 @@ NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
   } else {
     NodeRef Low = relProdRec(F0, G0, CubeBdd);
     NodeRef High = relProdRec(F1, G1, CubeBdd);
-    Result = makeNode(Var, Low, High);
+    Result = makeNode(LevelToVar[Lvl], Low, High);
   }
   cacheStore(TagRelProd, F, G, CubeBdd, Result);
   return Result;
@@ -704,12 +749,24 @@ Bdd Manager::relProd(const Bdd &F, const Bdd &G, const Bdd &CubeBdd) {
 
 bool Manager::isOrderPreserving(const std::vector<int> &Map,
                                 const std::vector<unsigned> &Support) const {
-  int LastImage = -1;
-  for (unsigned V : Support) {
-    int Image = (V < Map.size() && Map[V] >= 0) ? Map[V] : static_cast<int>(V);
-    if (Image <= LastImage)
+  // "Order" means the current level order, not variable indices: the
+  // single-recursion fast path relabels nodes in place, which is sound
+  // exactly when the images' levels are strictly increasing down the
+  // support's level order.
+  std::vector<unsigned> ByLevel(Support);
+  std::sort(ByLevel.begin(), ByLevel.end(), [&](unsigned A, unsigned B) {
+    return levelOf(A) < levelOf(B);
+  });
+  uint32_t LastImageLevel = 0;
+  bool First = true;
+  for (unsigned V : ByLevel) {
+    unsigned Image =
+        (V < Map.size() && Map[V] >= 0) ? static_cast<unsigned>(Map[V]) : V;
+    uint32_t Lvl = levelOf(Image);
+    if (!First && Lvl <= LastImageLevel)
       return false;
-    LastImage = Image;
+    LastImageLevel = Lvl;
+    First = false;
   }
   return true;
 }
@@ -773,14 +830,27 @@ Bdd Manager::replaceImpl(const Bdd &F, const std::vector<int> &Map) {
   }
 #endif
 
-  // Cache entries are keyed per distinct map via a small registry. The
-  // fast and general paths compute the same canonical result, so they
-  // can share cache entries.
-  static thread_local std::map<std::vector<int>, uint32_t> MapIds;
-  auto [It, Inserted] =
-      MapIds.try_emplace(Map, static_cast<uint32_t>(MapIds.size()));
-  (void)Inserted;
-  uint32_t Tag = TagReplaceBase + It->second;
+  // Cache entries are keyed per distinct map via a registry owned by
+  // this manager: the tag indexes this manager's computed cache, so ids
+  // must be consistent across every thread using the manager and must
+  // never collide with another manager's maps. The fast and general
+  // paths compute the same canonical result, so they can share entries.
+  uint32_t Tag;
+  {
+    std::lock_guard<std::mutex> RL(ReplaceMapLock);
+    // Tag-space guard: TagReplaceBase + id must stay clear of both the
+    // general-path high bit and the invalid-entry sentinel. Recycling
+    // the registry invalidates any cached results keyed by old ids.
+    if (ReplaceMapIds.size() >= (1u << 20)) {
+      ReplaceMapIds.clear();
+      clearCache();
+    }
+    auto [It, Inserted] =
+        ReplaceMapIds.try_emplace(Map,
+                                  static_cast<uint32_t>(ReplaceMapIds.size()));
+    (void)Inserted;
+    Tag = TagReplaceBase + It->second;
+  }
   gcIfNeededImpl();
 
   if (isOrderPreserving(Map, Supp))
@@ -821,7 +891,7 @@ jedd::bdd::NodeRef Manager::replaceViaIteRec(NodeRef F,
 //===----------------------------------------------------------------------===//
 
 NodeRef Manager::restrictRec(NodeRef F, unsigned Var, bool Value) {
-  if (isTerminal(F) || varOf(F) > Var)
+  if (isTerminal(F) || levelOfNode(F) > levelOf(Var))
     return F;
   uint32_t Tag = Value ? TagRestrict1 : TagRestrict0;
   if (varOf(F) == Var)
@@ -872,33 +942,138 @@ double Manager::satCountRec(NodeRef F,
   if (It != Memo.end())
     return It->second;
   const Node &Nd = Nodes[F];
-  auto LevelOf = [&](NodeRef N) {
-    return isTerminal(N) ? NumVars : varOf(N);
+  auto LevelOfN = [&](NodeRef N) {
+    return isTerminal(N) ? NumVars : levelOfNode(N);
   };
+  uint32_t Lvl = levelOf(Nd.Var);
   double Low = satCountRec(Nd.Low, Memo) *
-               std::pow(2.0, LevelOf(Nd.Low) - Nd.Var - 1);
+               std::pow(2.0, LevelOfN(Nd.Low) - Lvl - 1);
   double High = satCountRec(Nd.High, Memo) *
-                std::pow(2.0, LevelOf(Nd.High) - Nd.Var - 1);
+                std::pow(2.0, LevelOfN(Nd.High) - Lvl - 1);
   double Result = Low + High;
   Memo.emplace(F, Result);
   return Result;
 }
 
-double Manager::satCount(const Bdd &F) {
+//===----------------------------------------------------------------------===//
+// Exact satisfying-assignment counting
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr unsigned __int128 SatCountMax = ~(unsigned __int128)0;
+
+/// x * 2^Shift, clamping to the 128-bit maximum.
+inline unsigned __int128 shiftSat(unsigned __int128 X, unsigned Shift,
+                                  bool &Saturated) {
+  if (X == 0)
+    return 0;
+  if (Shift >= 128 || X > (SatCountMax >> Shift)) {
+    Saturated = true;
+    return SatCountMax;
+  }
+  return X << Shift;
+}
+
+inline unsigned __int128 addSat(unsigned __int128 A, unsigned __int128 B,
+                                bool &Saturated) {
+  if (A > SatCountMax - B) {
+    Saturated = true;
+    return SatCountMax;
+  }
+  return A + B;
+}
+
+} // namespace
+
+unsigned __int128
+Manager::satCountExactRec(NodeRef F,
+                          std::unordered_map<NodeRef, unsigned __int128> &Memo,
+                          bool &Saturated) {
+  if (F == FalseRef)
+    return 0;
+  if (F == TrueRef)
+    return 1;
+  auto It = Memo.find(F);
+  if (It != Memo.end())
+    return It->second;
+  const Node &Nd = Nodes[F];
+  auto LevelOfN = [&](NodeRef N) {
+    return isTerminal(N) ? NumVars : levelOfNode(N);
+  };
+  uint32_t Lvl = levelOf(Nd.Var);
+  unsigned __int128 Low =
+      shiftSat(satCountExactRec(Nd.Low, Memo, Saturated),
+               LevelOfN(Nd.Low) - Lvl - 1, Saturated);
+  unsigned __int128 High =
+      shiftSat(satCountExactRec(Nd.High, Memo, Saturated),
+               LevelOfN(Nd.High) - Lvl - 1, Saturated);
+  unsigned __int128 Result = addSat(Low, High, Saturated);
+  Memo.emplace(F, Result);
+  return Result;
+}
+
+SatCount Manager::satCountExactImpl(NodeRef Root) {
+#ifndef NDEBUG
+  for (unsigned V : supportImpl(Root))
+    assert(V < NumVars && "satCount over a BDD holding scratch variables");
+#endif
+  std::unordered_map<NodeRef, unsigned __int128> Memo;
+  bool Saturated = false;
+  unsigned TopLevel = isTerminal(Root) ? NumVars : levelOfNode(Root);
+  unsigned __int128 Count =
+      shiftSat(satCountExactRec(Root, Memo, Saturated), TopLevel, Saturated);
+  SatCount Result;
+  Result.Saturated = Saturated;
+  Result.Hi = static_cast<uint64_t>(Count >> 64);
+  Result.Lo = static_cast<uint64_t>(Count);
+  return Result;
+}
+
+SatCount Manager::satCountExact(const Bdd &F) {
   assert(F.manager() == this && "operand belongs to another manager");
-  // Exclusive in parallel mode: satCountRec reads node fields that GC and
-  // rehash rewrite, and the debug support() walk mutates Stamps.
+  // Exclusive in parallel mode: the recursion reads node fields that GC
+  // and rehash rewrite, and the debug support() walk mutates Stamps.
   std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
   if (ParMode)
     Lock.lock();
-#ifndef NDEBUG
-  for (unsigned V : supportImpl(F.ref()))
-    assert(V < NumVars && "satCount over a BDD holding scratch variables");
-#endif
+  return satCountExactImpl(F.ref());
+}
+
+double Manager::satCount(const Bdd &F) {
+  assert(F.manager() == this && "operand belongs to another manager");
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
+  // Wrapper over the exact count; only counts beyond 2^128 - 1 (possible
+  // with 128+ variables) fall back to the floating-point recursion.
+  SatCount Exact = satCountExactImpl(F.ref());
+  if (!Exact.Saturated)
+    return Exact.toDouble();
   std::unordered_map<NodeRef, double> Memo;
   NodeRef Root = F.ref();
-  unsigned TopLevel = isTerminal(Root) ? NumVars : varOf(Root);
+  unsigned TopLevel = isTerminal(Root) ? NumVars : levelOfNode(Root);
   return satCountRec(Root, Memo) * std::pow(2.0, TopLevel);
+}
+
+double SatCount::toDouble() const {
+  return std::ldexp(static_cast<double>(Hi), 64) + static_cast<double>(Lo);
+}
+
+std::string SatCount::toString() const {
+  if (Saturated)
+    return ">=2^128";
+  unsigned __int128 V =
+      (static_cast<unsigned __int128>(Hi) << 64) | static_cast<unsigned __int128>(Lo);
+  if (V == 0)
+    return "0";
+  std::string Digits;
+  while (V != 0) {
+    Digits.push_back(static_cast<char>('0' + static_cast<unsigned>(V % 10)));
+    V /= 10;
+  }
+  std::reverse(Digits.begin(), Digits.end());
+  return Digits;
 }
 
 size_t Manager::nodeCount(const Bdd &F) {
@@ -934,8 +1109,8 @@ std::vector<size_t> Manager::levelShape(const Bdd &F) {
     if (isTerminal(N) || Stamps[N] == Stamp)
       continue;
     Stamps[N] = Stamp;
-    if (Nodes[N].Var < NumVars)
-      ++Shape[Nodes[N].Var];
+    if (levelOfNode(N) < NumVars)
+      ++Shape[levelOfNode(N)];
     Stack.push_back(Nodes[N].Low);
     Stack.push_back(Nodes[N].High);
   }
@@ -974,16 +1149,19 @@ std::vector<unsigned> Manager::supportImpl(NodeRef Root) const {
 void Manager::enumerate(
     const Bdd &F, const std::vector<unsigned> &Vars,
     const std::function<bool(const std::vector<bool> &)> &Fn) {
-  assert(std::is_sorted(Vars.begin(), Vars.end()) &&
-         "enumeration variables must be sorted by level");
   // Exclusive in parallel mode; note the callback runs under the lock and
   // must not call back into this manager.
   std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
   if (ParMode)
     Lock.lock();
+  assert(std::is_sorted(Vars.begin(), Vars.end(),
+                        [&](unsigned A, unsigned B) {
+                          return levelOf(A) < levelOf(B);
+                        }) &&
+         "enumeration variables must be sorted by level");
 #ifndef NDEBUG
   for (unsigned V : supportImpl(F.ref()))
-    assert(std::binary_search(Vars.begin(), Vars.end(), V) &&
+    assert(std::find(Vars.begin(), Vars.end(), V) != Vars.end() &&
            "enumeration variables must cover the support");
 #endif
 

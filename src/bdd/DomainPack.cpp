@@ -20,16 +20,22 @@ PhysDomId DomainPack::addDomain(std::string Name, unsigned Bits) {
 }
 
 void DomainPack::finalize(size_t InitialNodes, size_t CacheSize,
-                          ParallelConfig Par) {
+                          ParallelConfig Par, ReorderConfig Reorder) {
   assert(!Mgr && "finalize() may only run once");
   assert(!Doms.empty() && "a pack needs at least one domain");
 
+  // Reorder blocks: groups of variables that sifting moves as one unit.
+  // Each group must occupy contiguous levels, and keeping a group intact
+  // keeps every encoding produced by this pack valid across reorders.
+  std::vector<std::vector<unsigned>> ReorderBlocks;
   unsigned NextVar = 0;
   if (Order == BitOrder::Sequential) {
+    // One block per physical domain.
     for (DomInfo &D : Doms) {
       D.Vars.resize(D.Bits);
       for (unsigned B = 0; B != D.Bits; ++B)
         D.Vars[B] = NextVar++;
+      ReorderBlocks.push_back(D.Vars);
     }
   } else {
     // Interleaved, MSB-aligned: round k hands one variable to every
@@ -43,15 +49,24 @@ void DomainPack::finalize(size_t InitialNodes, size_t CacheSize,
       MaxBits = std::max(MaxBits, D.Bits);
     for (DomInfo &D : Doms)
       D.Vars.resize(D.Bits);
-    for (unsigned Round = 0; Round != MaxBits; ++Round)
+    // One block per interleave round: the bit-k-of-every-domain groups
+    // are what must stay together for the alignment to survive sifting.
+    for (unsigned Round = 0; Round != MaxBits; ++Round) {
+      std::vector<unsigned> Group;
       for (DomInfo &D : Doms) {
         // Domain D participates in the last D.Bits rounds.
         unsigned Offset = MaxBits - D.Bits;
-        if (Round >= Offset)
-          D.Vars[Round - Offset] = NextVar++;
+        if (Round >= Offset) {
+          D.Vars[Round - Offset] = NextVar;
+          Group.push_back(NextVar++);
+        }
       }
+      ReorderBlocks.push_back(std::move(Group));
+    }
   }
   Mgr = std::make_unique<Manager>(NextVar, InitialNodes, CacheSize, Par);
+  Mgr->setBlocks(std::move(ReorderBlocks));
+  Mgr->setReorderConfig(Reorder);
 }
 
 Bdd DomainPack::encode(PhysDomId Dom, uint64_t Value) {
@@ -163,7 +178,10 @@ DomainPack::sortedVars(const std::vector<PhysDomId> &DomList) {
   std::vector<unsigned> Vars;
   for (PhysDomId Dom : DomList)
     Vars.insert(Vars.end(), Doms[Dom].Vars.begin(), Doms[Dom].Vars.end());
-  std::sort(Vars.begin(), Vars.end());
+  // Level order, which reordering may have decoupled from index order.
+  std::sort(Vars.begin(), Vars.end(), [&](unsigned A, unsigned B) {
+    return Mgr->levelOfVar(A) < Mgr->levelOfVar(B);
+  });
   return Vars;
 }
 
@@ -175,9 +193,9 @@ uint64_t DomainPack::decodeValue(PhysDomId Dom,
   const DomInfo &D = Doms[Dom];
   uint64_t Value = 0;
   for (unsigned B = 0; B != D.Bits; ++B) {
-    auto It = std::lower_bound(Vars.begin(), Vars.end(), D.Vars[B]);
-    assert(It != Vars.end() && *It == D.Vars[B] &&
-           "domain not part of the enumerated set");
+    // Vars is level-sorted, not index-sorted, so search linearly.
+    auto It = std::find(Vars.begin(), Vars.end(), D.Vars[B]);
+    assert(It != Vars.end() && "domain not part of the enumerated set");
     size_t Index = static_cast<size_t>(It - Vars.begin());
     Value = (Value << 1) | (Bits[Index] ? 1 : 0);
   }

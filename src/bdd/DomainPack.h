@@ -54,9 +54,13 @@ public:
   PhysDomId addDomain(std::string Name, unsigned Bits);
 
   /// Assigns variable positions and creates the manager. \p Par selects
-  /// the manager's execution engine (serial by default).
+  /// the manager's execution engine (serial by default) and \p Reorder
+  /// the dynamic-reordering policy (off by default). Reorder blocks are
+  /// derived from the bit order: whole domains under Sequential, per-bit
+  /// interleave groups under Interleaved — the units sifting may move
+  /// without invalidating any attribute encoding.
   void finalize(size_t InitialNodes = 1 << 14, size_t CacheSize = 1 << 16,
-                ParallelConfig Par = {});
+                ParallelConfig Par = {}, ReorderConfig Reorder = {});
   bool isFinalized() const { return Mgr != nullptr; }
 
   Manager &manager() {

@@ -186,6 +186,15 @@ void ParallelEngine::onGc() {
   }
 }
 
+bool ParallelEngine::cachesEmpty() const {
+  std::lock_guard<std::mutex> L(CtxLock);
+  for (const auto &C : Ctxs)
+    for (const Manager::CacheEntry &E : C->Cache)
+      if (E.Tag != 0xFFFFFFFFu)
+        return false;
+  return true;
+}
+
 void ParallelEngine::collectStats(ManagerStats &S) const {
   std::lock_guard<std::mutex> L(CtxLock);
   for (const auto &C : Ctxs) {
@@ -310,7 +319,8 @@ NodeRef ParallelEngine::join(WorkerCtx &C, Task &T) {
 NodeRef ParallelEngine::makeNode(WorkerCtx &C, uint32_t Var, NodeRef Low,
                                  NodeRef High) {
   assert(Var < M.TotalVars && "variable out of range");
-  assert(M.varOf(Low) > Var && M.varOf(High) > Var &&
+  assert(M.levelOfNode(Low) > M.levelOf(Var) &&
+         M.levelOfNode(High) > M.levelOf(Var) &&
          "children must be below the new node in the order");
   if (Low == High)
     return Low;
@@ -470,12 +480,12 @@ NodeRef ParallelEngine::applyRec(WorkerCtx &C, Op Operator, NodeRef F,
   if (C.cacheLookup(Tag, A, B, 0, Result))
     return Result;
 
-  uint32_t VarF = M.varOf(F), VarG = M.varOf(G);
-  uint32_t Var = std::min(VarF, VarG);
-  NodeRef F0 = VarF == Var ? M.Nodes[F].Low : F;
-  NodeRef F1 = VarF == Var ? M.Nodes[F].High : F;
-  NodeRef G0 = VarG == Var ? M.Nodes[G].Low : G;
-  NodeRef G1 = VarG == Var ? M.Nodes[G].High : G;
+  uint32_t LvlF = M.levelOfNode(F), LvlG = M.levelOfNode(G);
+  uint32_t Lvl = std::min(LvlF, LvlG);
+  NodeRef F0 = LvlF == Lvl ? M.Nodes[F].Low : F;
+  NodeRef F1 = LvlF == Lvl ? M.Nodes[F].High : F;
+  NodeRef G0 = LvlG == Lvl ? M.Nodes[G].Low : G;
+  NodeRef G1 = LvlG == Lvl ? M.Nodes[G].High : G;
 
   NodeRef Low, High;
   if (Depth < CutoffDepth && !(M.isTerminal(F1) && M.isTerminal(G1))) {
@@ -492,7 +502,7 @@ NodeRef ParallelEngine::applyRec(WorkerCtx &C, Op Operator, NodeRef F,
     Low = applyRec(C, Operator, F0, G0, Depth + 1);
     High = applyRec(C, Operator, F1, G1, Depth + 1);
   }
-  Result = makeNode(C, Var, Low, High);
+  Result = makeNode(C, M.LevelToVar[Lvl], Low, High);
   C.cacheStore(Tag, A, B, 0, Result);
   return Result;
 }
@@ -514,9 +524,10 @@ NodeRef ParallelEngine::iteRec(WorkerCtx &C, NodeRef F, NodeRef G, NodeRef H,
   if (C.cacheLookup(Manager::TagIte, F, G, H, Result))
     return Result;
 
-  uint32_t Var = std::min({M.varOf(F), M.varOf(G), M.varOf(H)});
+  uint32_t Lvl =
+      std::min({M.levelOfNode(F), M.levelOfNode(G), M.levelOfNode(H)});
   auto Cof = [&](NodeRef N, bool HighBranch) {
-    if (M.varOf(N) != Var)
+    if (M.levelOfNode(N) != Lvl)
       return N;
     return HighBranch ? M.Nodes[N].High : M.Nodes[N].Low;
   };
@@ -535,7 +546,7 @@ NodeRef ParallelEngine::iteRec(WorkerCtx &C, NodeRef F, NodeRef G, NodeRef H,
     Low = iteRec(C, Cof(F, false), Cof(G, false), Cof(H, false), Depth + 1);
     High = iteRec(C, Cof(F, true), Cof(G, true), Cof(H, true), Depth + 1);
   }
-  Result = makeNode(C, Var, Low, High);
+  Result = makeNode(C, M.LevelToVar[Lvl], Low, High);
   C.cacheStore(Manager::TagIte, F, G, H, Result);
   return Result;
 }
@@ -544,7 +555,7 @@ NodeRef ParallelEngine::existsRec(WorkerCtx &C, NodeRef F, NodeRef CubeBdd,
                                   unsigned Depth) {
   if (M.isTerminal(F))
     return F;
-  while (!M.isTerminal(CubeBdd) && M.varOf(CubeBdd) < M.varOf(F))
+  while (!M.isTerminal(CubeBdd) && M.levelOfNode(CubeBdd) < M.levelOfNode(F))
     CubeBdd = M.Nodes[CubeBdd].High;
   if (M.isTerminal(CubeBdd))
     return F;
@@ -583,8 +594,9 @@ NodeRef ParallelEngine::relProdRec(WorkerCtx &C, NodeRef F, NodeRef G,
   if (F == TrueRef && G == TrueRef)
     return TrueRef;
 
-  uint32_t Var = std::min(M.varOf(F), M.varOf(G));
-  while (!M.isTerminal(CubeBdd) && M.varOf(CubeBdd) < Var)
+  uint32_t LvlF = M.levelOfNode(F), LvlG = M.levelOfNode(G);
+  uint32_t Lvl = std::min(LvlF, LvlG);
+  while (!M.isTerminal(CubeBdd) && M.levelOfNode(CubeBdd) < Lvl)
     CubeBdd = M.Nodes[CubeBdd].High;
   if (M.isTerminal(CubeBdd))
     return applyRec(C, Op::And, F, G, Depth);
@@ -593,12 +605,12 @@ NodeRef ParallelEngine::relProdRec(WorkerCtx &C, NodeRef F, NodeRef G,
   if (C.cacheLookup(Manager::TagRelProd, F, G, CubeBdd, Result))
     return Result;
 
-  NodeRef F0 = M.varOf(F) == Var ? M.Nodes[F].Low : F;
-  NodeRef F1 = M.varOf(F) == Var ? M.Nodes[F].High : F;
-  NodeRef G0 = M.varOf(G) == Var ? M.Nodes[G].Low : G;
-  NodeRef G1 = M.varOf(G) == Var ? M.Nodes[G].High : G;
+  NodeRef F0 = LvlF == Lvl ? M.Nodes[F].Low : F;
+  NodeRef F1 = LvlF == Lvl ? M.Nodes[F].High : F;
+  NodeRef G0 = LvlG == Lvl ? M.Nodes[G].Low : G;
+  NodeRef G1 = LvlG == Lvl ? M.Nodes[G].High : G;
 
-  if (M.varOf(CubeBdd) == Var) {
+  if (M.levelOfNode(CubeBdd) == Lvl) {
     NodeRef NextCube = M.Nodes[CubeBdd].High;
     if (Depth < CutoffDepth) {
       // Forked form trades the serial x-OR-true short-circuit for
@@ -638,7 +650,7 @@ NodeRef ParallelEngine::relProdRec(WorkerCtx &C, NodeRef F, NodeRef G,
       Low = relProdRec(C, F0, G0, CubeBdd, Depth + 1);
       High = relProdRec(C, F1, G1, CubeBdd, Depth + 1);
     }
-    Result = makeNode(C, Var, Low, High);
+    Result = makeNode(C, M.LevelToVar[Lvl], Low, High);
   }
   C.cacheStore(Manager::TagRelProd, F, G, CubeBdd, Result);
   return Result;

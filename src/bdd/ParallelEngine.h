@@ -66,6 +66,10 @@ public:
   /// counts and the per-worker breakdown).
   void collectStats(ManagerStats &S) const;
 
+  /// True when no per-thread computed cache holds a valid entry; used by
+  /// the manager's debug-build verification after exclusive phases.
+  bool cachesEmpty() const;
+
 private:
   struct WorkerCtx;
   struct Task;

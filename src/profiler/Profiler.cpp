@@ -127,6 +127,24 @@ std::string Profiler::renderHtml() const {
     Html += "</table>";
   }
 
+  // Dynamic variable reordering, when sifting ever ran
+  // (docs/reordering.md explains the algorithm and these counters).
+  if (Reorder.Runs > 0) {
+    double Shrink =
+        Reorder.NodesBefore
+            ? 100.0 * (1.0 - static_cast<double>(Reorder.NodesAfter) /
+                                 static_cast<double>(Reorder.NodesBefore))
+            : 0.0;
+    Html += strFormat(
+        "<h2>Dynamic variable reordering</h2>"
+        "<p>%zu sifting passes &middot; %zu block moves, %zu level swaps "
+        "&middot; latest pass: %zu &rarr; %zu live nodes (%.1f%% smaller) "
+        "&middot; %llu &micro;s total</p>",
+        Reorder.Runs, Reorder.BlockMoves, Reorder.Swaps,
+        Reorder.NodesBefore, Reorder.NodesAfter, Shrink,
+        static_cast<unsigned long long>(Reorder.Micros));
+  }
+
   // Detailed view.
   Html += "<h2>Individual executions</h2><table><tr><th>#</th>"
           "<th class=\"l\">operation</th><th class=\"l\">site</th>"

@@ -58,6 +58,18 @@ struct ParallelSnapshot {
   std::vector<Worker> Workers; ///< Per-thread breakdown.
 };
 
+/// Snapshot of a BDD manager's dynamic variable-reordering counters
+/// (docs/reordering.md), mirrored from bdd::ManagerStats. Runs == 0
+/// means reordering never fired and the section is omitted.
+struct ReorderSnapshot {
+  size_t Runs = 0;        ///< Completed sifting passes.
+  size_t Swaps = 0;       ///< Adjacent-level swaps performed in total.
+  size_t BlockMoves = 0;  ///< Adjacent-block exchanges in total.
+  size_t NodesBefore = 0; ///< Live nodes entering the latest pass.
+  size_t NodesAfter = 0;  ///< Live nodes leaving the latest pass.
+  uint64_t Micros = 0;    ///< Total time spent reordering.
+};
+
 /// Aggregated view of all executions of one (kind, site) operation —
 /// the "overall profile view" of Section 4.3.
 struct OpSummary {
@@ -75,6 +87,7 @@ public:
   void clear() {
     Records.clear();
     Parallel = ParallelSnapshot();
+    Reorder = ReorderSnapshot();
   }
 
   const std::vector<OpRecord> &records() const { return Records; }
@@ -85,6 +98,11 @@ public:
     Parallel = std::move(Snapshot);
   }
   const ParallelSnapshot &parallel() const { return Parallel; }
+
+  /// Installs the latest reordering snapshot (counters are cumulative,
+  /// so the newest snapshot supersedes older ones).
+  void setReorder(ReorderSnapshot Snapshot) { Reorder = Snapshot; }
+  const ReorderSnapshot &reorder() const { return Reorder; }
 
   /// Per-(kind, site) aggregation, sorted by total time descending.
   std::vector<OpSummary> summarize() const;
@@ -100,6 +118,7 @@ public:
 private:
   std::vector<OpRecord> Records;
   ParallelSnapshot Parallel;
+  ReorderSnapshot Reorder;
 };
 
 } // namespace prof

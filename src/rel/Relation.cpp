@@ -49,10 +49,25 @@ public:
     R.ResultShape = U->manager().levelShape(Result.body());
     P->record(std::move(R));
 
-    // Keep the report's parallel-efficiency section current: counters
-    // are cumulative in the manager, so the latest snapshot wins.
+    // Keep the report's parallel-efficiency and reordering sections
+    // current: counters are cumulative in the manager, so the latest
+    // snapshot wins.
+    bool WantStats = U->manager().isParallel();
+    bdd::ManagerStats S;
+    if (WantStats)
+      S = U->manager().stats();
+    else {
+      // Reordering can fire in serial managers too; only pay for the
+      // stats call when a pass has ever run.
+      bdd::ReorderStats RS = U->manager().reorderStats();
+      if (RS.Runs > 0) {
+        WantStats = true;
+        S = U->manager().stats();
+      }
+    }
+    if (!WantStats)
+      return;
     if (U->manager().isParallel()) {
-      bdd::ManagerStats S = U->manager().stats();
       prof::ParallelSnapshot Snap;
       Snap.NumThreads = S.NumThreads;
       Snap.ParallelOps = S.ParallelOps;
@@ -62,6 +77,16 @@ public:
         Snap.Workers.push_back({W.CacheHits, W.CacheLookups, W.TasksForked,
                                 W.TasksExecuted, W.TasksStolen});
       P->setParallel(std::move(Snap));
+    }
+    if (S.ReorderRuns > 0) {
+      prof::ReorderSnapshot Snap;
+      Snap.Runs = S.ReorderRuns;
+      Snap.Swaps = S.ReorderSwaps;
+      Snap.BlockMoves = S.ReorderBlockMoves;
+      Snap.NodesBefore = S.ReorderNodesBefore;
+      Snap.NodesAfter = S.ReorderNodesAfter;
+      Snap.Micros = S.ReorderMicros;
+      P->setReorder(Snap);
     }
   }
 
@@ -436,6 +461,23 @@ double Relation::size() const {
   // The BDD leaves unused physical domains as wildcards; divide them out.
   unsigned UnusedBits = U->manager().numVars() - schemaBits();
   return U->manager().satCount(Body) / std::pow(2.0, UnusedBits);
+}
+
+bdd::SatCount Relation::sizeExact() const {
+  JEDD_CHECK(U, "operation on an invalid relation");
+  bdd::SatCount C = U->manager().satCountExact(Body);
+  if (C.Saturated)
+    return C; // The true value is unknown; dividing would be wrong too.
+  unsigned UnusedBits = U->manager().numVars() - schemaBits();
+  unsigned __int128 V =
+      (static_cast<unsigned __int128>(C.Hi) << 64) | C.Lo;
+  // Unused physical domains are wildcards, so the raw count is an exact
+  // multiple of 2^UnusedBits.
+  assert(UnusedBits < 128 &&
+         (V & ((static_cast<unsigned __int128>(1) << UnusedBits) - 1)) == 0 &&
+         "wildcard bits must divide the raw count");
+  V >>= UnusedBits;
+  return {static_cast<uint64_t>(V >> 64), static_cast<uint64_t>(V), false};
 }
 
 void Relation::insert(const std::vector<uint64_t> &Values) {

@@ -136,6 +136,10 @@ public:
 
   /// Number of tuples.
   double size() const;
+  /// Number of tuples as an exact 128-bit count. Saturates (with the
+  /// flag set) only beyond 2^128 tuples; below that the count is exact
+  /// even where the double returned by size() has rounded.
+  bdd::SatCount sizeExact() const;
   bool isEmpty() const { return Body.isFalse(); }
 
   /// Adds one tuple (values indexed like schema()).

@@ -46,7 +46,8 @@ PhysDomId Universe::addPhysicalDomain(std::string Name, unsigned Bits) {
 }
 
 void Universe::finalize(bdd::BitOrder Order, size_t InitialNodes,
-                        size_t CacheSize, bdd::ParallelConfig Par) {
+                        size_t CacheSize, bdd::ParallelConfig Par,
+                        bdd::ReorderConfig Reorder) {
   JEDD_CHECK(!isFinalized(), "finalize() may only run once");
   JEDD_CHECK(!PhysNames.empty(), "at least one physical domain is required");
 
@@ -65,7 +66,7 @@ void Universe::finalize(bdd::BitOrder Order, size_t InitialNodes,
     (void)Id;
     assert(Id == I && "pack ids must mirror universe ids");
   }
-  PackPtr->finalize(InitialNodes, CacheSize, Par);
+  PackPtr->finalize(InitialNodes, CacheSize, Par, Reorder);
 }
 
 std::string Universe::label(DomainId Dom, uint64_t Value) const {

@@ -86,10 +86,11 @@ public:
 
   /// Freezes declarations, lays out BDD variables, creates the manager.
   /// \p Par opts the manager into the multi-core execution engine
-  /// (docs/parallelism.md); the default stays serial.
+  /// (docs/parallelism.md); \p Reorder the dynamic variable-reordering
+  /// policy (docs/reordering.md). Both default to off.
   void finalize(bdd::BitOrder Order = bdd::BitOrder::Interleaved,
                 size_t InitialNodes = 1 << 16, size_t CacheSize = 1 << 18,
-                bdd::ParallelConfig Par = {});
+                bdd::ParallelConfig Par = {}, bdd::ReorderConfig Reorder = {});
   bool isFinalized() const { return PackPtr != nullptr; }
 
   //===--------------------------------------------------------------===//

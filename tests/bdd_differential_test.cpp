@@ -39,11 +39,21 @@ struct TrackedFun {
 
 class DifferentialHarness {
 public:
-  DifferentialHarness(unsigned NumVars, uint64_t Seed, ParallelConfig ParCfg)
+  DifferentialHarness(unsigned NumVars, uint64_t Seed, ParallelConfig ParCfg,
+                      bool Reordering = false)
       : V(NumVars), N(size_t(1) << NumVars), Rng(Seed),
         // Small pools so growth and GC trigger mid-run.
         Ser(NumVars, 1 << 10, 1 << 12),
-        Par(NumVars, 1 << 10, 1 << 12, ParCfg) {
+        Par(NumVars, 1 << 10, 1 << 12, ParCfg), Reordering(Reordering) {
+    if (Reordering) {
+      // Auto-sifting in both managers; they sift independently, so their
+      // variable orders (and node counts) are allowed to diverge.
+      ReorderConfig RC;
+      RC.Auto = true;
+      RC.MinNodes = 1 << 8;
+      Ser.setReorderConfig(RC);
+      Par.setReorderConfig(RC);
+    }
     // Seed the pool with all literals and the constants.
     for (unsigned Var = 0; Var != V; ++Var) {
       std::vector<bool> T(N), NT(N);
@@ -156,9 +166,27 @@ public:
     else
       Pool[Seeded + Rng.nextBelow(16)] = std::move(R);
     ++Cases;
+
+    // With reordering on, also force sifting passes at arbitrary points
+    // in the op stream (in addition to any auto-triggered ones), on one
+    // manager at a time so the orders genuinely diverge.
+    if (Reordering && Cases % 41 == 0)
+      Ser.reorder();
+    if (Reordering && Cases % 67 == 0)
+      Par.reorder();
   }
 
   size_t casesRun() const { return Cases; }
+
+  /// Final sifting pass on both managers, then every pool function is
+  /// re-verified against its truth table — the reordered managers must
+  /// still agree with the serial baselines on every assignment.
+  void reorderAndRecheckAll() {
+    Ser.reorder();
+    Par.reorder();
+    for (const TrackedFun &F : Pool)
+      check(F);
+  }
 
 private:
   unsigned V;
@@ -166,6 +194,7 @@ private:
   SplitMix64 Rng;
   Manager Ser;
   Manager Par;
+  bool Reordering;
   std::vector<TrackedFun> Pool;
   size_t Cases = 0;
 
@@ -259,12 +288,17 @@ private:
           << "parallel disagrees with truth table, case " << Cases
           << " assignment " << I;
     }
-    // Canonicity: same function => same satCount and same node count, no
-    // matter which engine built it.
+    // Canonicity: same function => same satCount, no matter which engine
+    // built it; satCount is order-independent, so this also holds across
+    // reorders.
     ASSERT_EQ(Ser.satCount(R.Serial), Par.satCount(R.Parallel))
         << "satCount mismatch, case " << Cases;
-    ASSERT_EQ(Ser.nodeCount(R.Serial), Par.nodeCount(R.Parallel))
-        << "nodeCount mismatch, case " << Cases;
+    // Same node count too — but only while both managers share the
+    // variable order; independent sifting legitimately breaks it.
+    if (!Reordering) {
+      ASSERT_EQ(Ser.nodeCount(R.Serial), Par.nodeCount(R.Parallel))
+          << "nodeCount mismatch, case " << Cases;
+    }
   }
 };
 
@@ -313,6 +347,33 @@ TEST(BddDifferential, TwoThreadConfig) {
   DifferentialHarness H(8, 0xB007, Cfg);
   for (unsigned I = 0; I != 120; ++I)
     H.step();
+}
+
+// Dynamic variable reordering (docs/reordering.md) must be invisible to
+// clients: the same op stream with auto-sifting enabled — plus forced
+// passes at arbitrary points — still matches the truth table on every
+// assignment and satCount, in both the serial and the parallel manager.
+// Replace permutations (case 7 of the stream) are the sharpest probe
+// here, since replace caching is keyed by map tags that must survive the
+// cache flushes reordering performs.
+TEST(BddDifferentialReorder, SerialAndParallelAgreeUnderSifting) {
+  ParallelConfig Cfg;
+  Cfg.NumThreads = 4;
+  Cfg.CutoffDepth = 3;
+  DifferentialHarness H(8, 0xD001, Cfg, /*Reordering=*/true);
+  for (unsigned I = 0; I != 150; ++I)
+    H.step();
+  H.reorderAndRecheckAll();
+}
+
+TEST(BddDifferentialReorder, TenVarsTwoThreads) {
+  ParallelConfig Cfg;
+  Cfg.NumThreads = 2;
+  Cfg.CutoffDepth = 3;
+  DifferentialHarness H(10, 0xD002, Cfg, /*Reordering=*/true);
+  for (unsigned I = 0; I != 120; ++I)
+    H.step();
+  H.reorderAndRecheckAll();
 }
 
 } // namespace

@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
 
 using namespace jedd;
@@ -350,6 +351,62 @@ TEST_F(RelTest, ProfilerRecordsOperations) {
   std::string Html = Prof.renderHtml();
   EXPECT_NE(Html.find("test-site"), std::string::npos);
   EXPECT_NE(Html.find("<svg"), std::string::npos);
+}
+
+// Exact tuple counting on a universe whose relations span more than 64
+// bits, where both uint64_t and double counting break down.
+TEST(SizeExact, WideUniverseCounts) {
+  Universe U;
+  DomainId Big = U.addDomain("Big", uint64_t(1) << 22);
+  AttributeId A = U.addAttribute("a", Big);
+  AttributeId B = U.addAttribute("b", Big);
+  AttributeId C = U.addAttribute("c", Big);
+  PhysDomId Q0 = U.addPhysicalDomain("Q0");
+  PhysDomId Q1 = U.addPhysicalDomain("Q1");
+  PhysDomId Q2 = U.addPhysicalDomain("Q2");
+  U.finalize();
+  ASSERT_EQ(U.manager().numVars(), 66u); // 3 x 22 bits.
+
+  // A few explicit tuples: the exact count must match enumeration.
+  Relation R = U.empty({{A, Q0}, {B, Q1}, {C, Q2}});
+  R.insert({0, 1, 2});
+  R.insert({(1 << 22) - 1, 0, 12345});
+  R.insert({99, (1 << 22) - 1, 7});
+  bdd::SatCount Sparse = R.sizeExact();
+  EXPECT_TRUE(Sparse.isExact());
+  EXPECT_EQ(Sparse.Hi, 0u);
+  EXPECT_EQ(Sparse.Lo, R.tuples().size());
+  EXPECT_EQ(Sparse.Lo, 3u);
+
+  // The full relation holds 2^66 tuples — beyond uint64_t.
+  Relation F = U.full({{A, Q0}, {B, Q1}, {C, Q2}});
+  bdd::SatCount Full = F.sizeExact();
+  EXPECT_TRUE(Full.isExact());
+  EXPECT_EQ(Full.Hi, 4u);
+  EXPECT_EQ(Full.Lo, 0u);
+  EXPECT_EQ(Full.toString(), "73786976294838206464");
+  EXPECT_DOUBLE_EQ(F.size(), std::ldexp(1.0, 66));
+
+  // 2^66 - 1 is not representable in a double; sizeExact nails it while
+  // size() rounds back up to 2^66.
+  Relation AlmostFull = F - R;
+  EXPECT_DOUBLE_EQ(AlmostFull.size(), std::ldexp(1.0, 66));
+  bdd::SatCount AF = AlmostFull.sizeExact();
+  EXPECT_TRUE(AF.isExact());
+  EXPECT_EQ(AF.Hi, 3u);
+  EXPECT_EQ(AF.Lo, ~uint64_t(0) - 2);
+  EXPECT_EQ(AF.toString(), "73786976294838206461");
+
+  // Unused physical domains stay wildcards in the BDD; sizeExact must
+  // divide them out exactly, like size() does approximately.
+  Relation Two = U.empty({{A, Q0}});
+  Two.insert({5});
+  Two.insert({17});
+  bdd::SatCount TwoC = Two.sizeExact();
+  EXPECT_TRUE(TwoC.isExact());
+  EXPECT_EQ(TwoC.Hi, 0u);
+  EXPECT_EQ(TwoC.Lo, 2u);
+  EXPECT_DOUBLE_EQ(Two.size(), 2.0);
 }
 
 //===----------------------------------------------------------------------===//

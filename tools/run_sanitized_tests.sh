@@ -27,7 +27,8 @@ run_thread() {
   cmake -S "$ROOT" -B "$ROOT/build-tsan" -DJEDDPP_SANITIZE=thread \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
-        --target bdd_parallel_test bdd_differential_test
+        --target bdd_parallel_test bdd_reorder_stress_test \
+                 bdd_differential_test
   (cd "$ROOT/build-tsan" && ctest --output-on-failure -L stress)
   TSAN_OPTIONS="halt_on_error=1" \
       "$ROOT/build-tsan/tests/bdd_differential_test"

@@ -13,6 +13,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "bdd/DomainPack.h"
 #include "rel/Relation.h"
 #include "util/Random.h"
@@ -219,4 +221,22 @@ BENCHMARK(BM_JoinThenProject)->Arg(200)->Arg(1000);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Strip the shared observability flags first; google-benchmark rejects
+  // flags it does not know.
+  jedd::benchsupport::ObsSession Obs(argc, argv, "bdd_ops");
+  std::vector<char *> Args(argv, argv + argc);
+  // The smoke configuration runs one fast case per layer instead of the
+  // full argument sweep.
+  char SmokeFilter[] =
+      "--benchmark_filter=BM_Apply_And/8$|BM_RelProd/8$|BM_Compose/200$";
+  if (Obs.smoke())
+    Args.push_back(SmokeFilter);
+  int BenchArgc = static_cast<int>(Args.size());
+  benchmark::Initialize(&BenchArgc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(BenchArgc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -21,6 +21,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "jedd/Driver.h"
 #include "util/File.h"
 
@@ -43,7 +45,8 @@ std::string readModule(const std::string &Name) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchsupport::ObsSession Obs(argc, argv, "replace_elimination");
   std::printf("Ablation: replace operations eliminated by the SAT-based "
               "physical domain assignment\n\n");
   std::printf("%-18s | %14s | %14s | %11s\n", "module",
@@ -52,8 +55,12 @@ int main() {
 
   std::string Prelude = readModule("prelude.jedd");
   size_t TotalNaive = 0, TotalSolved = 0;
-  for (const char *Name : {"hierarchy.jedd", "vcr.jedd", "pointsto.jedd",
-                           "callgraph.jedd", "sideeffect.jedd"}) {
+  std::vector<const char *> ModuleNames = {
+      "hierarchy.jedd", "vcr.jedd", "pointsto.jedd", "callgraph.jedd",
+      "sideeffect.jedd"};
+  if (Obs.smoke())
+    ModuleNames.resize(1);
+  for (const char *Name : ModuleNames) {
     DiagnosticEngine Diags(Name);
     auto Compiled = compileJedd(Prelude + readModule(Name), Diags);
     if (!Compiled) {

@@ -16,6 +16,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "jedd/Driver.h"
 #include "sat/Solver.h"
 #include "util/File.h"
@@ -61,7 +63,8 @@ std::string readModule(const std::string &Name) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchsupport::ObsSession Obs(argc, argv, "sat_solver");
   std::printf("Ablation: CDCL (our zchaff substitute) vs reference DPLL\n");
   std::printf("\n(a) Random 3-SAT at clause/variable ratio 4.3, 5 "
               "instances per size\n\n");
@@ -70,9 +73,13 @@ int main() {
   std::printf("%s\n", std::string(50, '-').c_str());
 
   SplitMix64 Rng(7);
-  for (unsigned NumVars : {30u, 40u, 50u, 60u, 70u}) {
+  std::vector<unsigned> Sizes = {30u, 40u, 50u, 60u, 70u};
+  const int Instances = Obs.smoke() ? 1 : 5;
+  if (Obs.smoke())
+    Sizes.resize(1);
+  for (unsigned NumVars : Sizes) {
     double CdclTotal = 0, DpllTotal = 0;
-    for (int Instance = 0; Instance != 5; ++Instance) {
+    for (int Instance = 0; Instance != Instances; ++Instance) {
       CnfFormula F = randomThreeSat(
           Rng, NumVars, static_cast<unsigned>(NumVars * 4.3));
       double T0 = now();
@@ -101,8 +108,12 @@ int main() {
               "clauses", "result", "time (ms)");
   std::printf("%s\n", std::string(68, '-').c_str());
   std::string Prelude = readModule("prelude.jedd");
-  for (const char *Name : {"hierarchy.jedd", "vcr.jedd", "pointsto.jedd",
-                           "callgraph.jedd", "sideeffect.jedd"}) {
+  std::vector<const char *> ModuleNames = {
+      "hierarchy.jedd", "vcr.jedd", "pointsto.jedd", "callgraph.jedd",
+      "sideeffect.jedd"};
+  if (Obs.smoke())
+    ModuleNames.resize(1);
+  for (const char *Name : ModuleNames) {
     DiagnosticEngine Diags(Name);
     auto Compiled = lang::compileJedd(Prelude + readModule(Name), Diags);
     if (!Compiled) {

@@ -18,6 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "jedd/Driver.h"
 #include "util/File.h"
 
@@ -45,14 +47,17 @@ struct Row {
 
 } // namespace
 
-int main() {
-  const std::vector<std::pair<std::string, std::string>> Modules = {
+int main(int argc, char **argv) {
+  benchsupport::ObsSession Obs(argc, argv, "table1_domain_assignment");
+  std::vector<std::pair<std::string, std::string>> Modules = {
       {"Hierarchy", "hierarchy.jedd"},
       {"Virtual Call Resolution", "vcr.jedd"},
       {"Points-to Analysis", "pointsto.jedd"},
       {"Call Graph", "callgraph.jedd"},
       {"Side-effect Analysis", "sideeffect.jedd"},
   };
+  if (Obs.smoke())
+    Modules.resize(1);
 
   std::string Prelude = readModule("prelude.jedd");
   std::vector<Row> Rows;
@@ -69,7 +74,7 @@ int main() {
     Rows.push_back({Title, Compiled->assignStats()});
     Combined += readModule(File);
   }
-  {
+  if (!Obs.smoke()) {
     DiagnosticEngine Diags("combined.jedd");
     auto Compiled = compileJedd(Combined, Diags);
     if (!Compiled) {

@@ -21,6 +21,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "analysis/Analyses.h"
 #include "soot/Generator.h"
 
@@ -40,7 +42,8 @@ double seconds(std::chrono::steady_clock::time_point A,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchsupport::ObsSession Obs(argc, argv, "table2_points_to");
   std::printf("Table 2: Running time comparison of hand-coded C++ and "
               "Jedd points-to analysis\n\n");
   std::printf("%-10s | %8s %8s %8s | %12s %12s | %9s\n", "Benchmark",
@@ -48,7 +51,11 @@ int main() {
               "overhead");
   std::printf("%s\n", std::string(84, '-').c_str());
 
-  for (const std::string &Name : soot::table2Benchmarks()) {
+  std::vector<std::string> Names = soot::table2Benchmarks();
+  if (Obs.smoke())
+    Names.resize(1);
+  const int Runs = Obs.smoke() ? 1 : 2;
+  for (const std::string &Name : Names) {
     soot::Program P =
         soot::generateProgram(soot::benchmarkPreset(Name));
     std::vector<std::pair<soot::Id, soot::Id>> Extra =
@@ -59,7 +66,7 @@ int main() {
     // Best of two runs each, to damp allocator noise.
     double HandTime = 0, JeddTime = 0;
     double HandPairs = 0, JeddPairs = 0;
-    for (int Run = 0; Run != 2; ++Run) {
+    for (int Run = 0; Run != Runs; ++Run) {
       // Hand-coded version (direct BDD calls, manual physical domains).
       auto H0 = std::chrono::steady_clock::now();
       HandCodedPointsTo Hand(P);

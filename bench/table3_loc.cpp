@@ -14,6 +14,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "util/File.h"
 #include "util/StringUtils.h"
 
@@ -68,7 +70,9 @@ size_t countFile(const std::string &Path) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchsupport::ObsSession Obs(argc, argv, "table3_loc");
+  (void)Obs.smoke(); // Counting lines is already seconds-scale.
   std::string Src = JEDDPP_SOURCE_DIR;
 
   size_t JeddLines = 0;

@@ -23,6 +23,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "analysis/Analyses.h"
 #include "soot/Generator.h"
 
@@ -42,13 +44,15 @@ struct Config {
 
 } // namespace
 
-int main() {
-  soot::Program P =
-      soot::generateProgram(soot::benchmarkPreset("compress"));
+int main(int argc, char **argv) {
+  benchsupport::ObsSession Obs(argc, argv, "variable_ordering");
+  const char *Preset = Obs.smoke() ? "javac_s" : "compress";
+  soot::Program P = soot::generateProgram(soot::benchmarkPreset(Preset));
   std::vector<std::pair<soot::Id, soot::Id>> Extra = onTheFlyAssignEdges(P);
 
   std::printf("Ablation: physical-domain bit ordering on points-to "
-              "(benchmark 'compress')\n\n");
+              "(benchmark '%s')\n\n",
+              Preset);
   std::printf("%-12s | %10s | %12s | %14s | %14s\n", "ordering",
               "time (s)", "pt (pairs)", "pt (BDD nodes)", "nodes created");
   std::printf("%s\n", std::string(74, '-').c_str());

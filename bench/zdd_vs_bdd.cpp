@@ -16,6 +16,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchSupport.h"
+
 #include "bdd/DomainPack.h"
 #include "bdd/Zdd.h"
 #include "soot/Generator.h"
@@ -65,14 +67,21 @@ void compare(unsigned Bits, unsigned Tuples) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  benchsupport::ObsSession Obs(argc, argv, "zdd_vs_bdd");
   std::printf("ZDD backend groundwork (Section 4.1): representation size "
               "of the same random relation\n\n");
   std::printf("%6s | %8s | %10s | %10s | %10s | %8s\n", "bits", "tuples",
               "density", "BDD nodes", "ZDD nodes", "BDD/ZDD");
   std::printf("%s\n", std::string(70, '-').c_str());
-  for (unsigned Bits : {10u, 14u, 18u})
-    for (unsigned Tuples : {16u, 128u, 1024u})
+  std::vector<unsigned> BitSizes = {10u, 14u, 18u};
+  std::vector<unsigned> TupleCounts = {16u, 128u, 1024u};
+  if (Obs.smoke()) {
+    BitSizes = {10u};
+    TupleCounts = {16u, 128u};
+  }
+  for (unsigned Bits : BitSizes)
+    for (unsigned Tuples : TupleCounts)
       compare(Bits, Tuples);
   std::printf("\nSparse relations (low density) are several times smaller "
               "as ZDDs because 0-bits cost no nodes;\nas density grows "

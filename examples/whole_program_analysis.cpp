@@ -33,7 +33,7 @@ int main(int argc, char **argv) {
 
   analysis::AnalysisUniverse AU(Prog);
   prof::Profiler Profiler;
-  AU.U.setProfiler(&Profiler);
+  Profiler.attach();
 
   analysis::WholeProgramAnalysis WPA(AU);
   WPA.run();
@@ -68,7 +68,8 @@ int main(int argc, char **argv) {
                   ? 100.0 * Stats.CacheHits / Stats.CacheLookups
                   : 0.0);
 
-  AU.U.setProfiler(nullptr);
+  Profiler.observe(Stats);
+  Profiler.detach();
   const char *ReportPath = "jedd-profile.html";
   if (Profiler.writeHtml(ReportPath))
     std::printf("\nprofiler report (%zu operations recorded): %s\n",

@@ -91,7 +91,8 @@ Hierarchy::Hierarchy(AnalysisUniverse &AU) {
   Subtype |= Extend;
   while (true) {
     // subtype(sub, mid) . extend(mid, sup) — one compose per step.
-    Relation Step = Subtype.compose(Extend, {AU.Sup}, {AU.Sub}, "hierarchy");
+    Relation Step = Subtype.compose(Extend, {AU.Sup}, {AU.Sub},
+                                    JEDD_SITE("hierarchy"));
     Relation Next = Subtype | Step;
     if (Next == Subtype)
       break;
@@ -117,7 +118,7 @@ Relation VirtualCallResolver::resolve(const Relation &ReceiverTypes) const {
   // Line numbers refer to Figure 4 of the paper.
   // Line 3: save the receiver type before walking up the hierarchy.
   Relation ToResolve =
-      ReceiverTypes.copy(AU.RecT, AU.TgtT, AU.T2, "vcr:copy");
+      ReceiverTypes.copy(AU.RecT, AU.TgtT, AU.T2, JEDD_SITE("vcr:copy"));
   Relation Answer = AU.U.empty({{AU.Call, AU.C1},
                                 {AU.Sig, AU.SG1},
                                 {AU.RecT, AU.T1},
@@ -126,18 +127,18 @@ Relation VirtualCallResolver::resolve(const Relation &ReceiverTypes) const {
   while (!ToResolve.isEmpty()) {
     // Lines 6-7: does the current class implement the signature?
     Relation Resolved = ToResolve.join(DeclaresMethod, {AU.TgtT, AU.Sig},
-                                       {AU.Typ, AU.Sig}, "vcr:join");
+                                       {AU.Typ, AU.Sig}, JEDD_SITE("vcr:join"));
     // Line 8.
     Answer |= Resolved;
     // Line 9: drop the resolved call sites.
-    ToResolve -= Resolved.project({AU.Mth}, "vcr:project");
+    ToResolve -= Resolved.project({AU.Mth}, JEDD_SITE("vcr:project"));
     // Line 10: move to the immediate superclass.
     ToResolve = ToResolve.compose(H.Extend, {AU.TgtT}, {AU.Sub},
-                                  "vcr:compose")
+                                  JEDD_SITE("vcr:compose"))
                     .rename(AU.Sup, AU.TgtT);
     // Line 11: the loop condition is the enclosing while.
   }
-  return Answer.projectTo({AU.Call, AU.Mth}, "vcr:answer")
+  return Answer.projectTo({AU.Call, AU.Mth}, JEDD_SITE("vcr:answer"))
       .rename(AU.Mth, AU.Callee);
 }
 
@@ -185,7 +186,7 @@ bool PointsToAnalysis::solve() {
     Relation OldFieldPt = FieldPt;
 
     // Copy edges: pt(dst) >= pt(src).
-    Pt |= AssignR.compose(Pt, {AU.Src}, {AU.Src}, "pt:copy")
+    Pt |= AssignR.compose(Pt, {AU.Src}, {AU.Src}, JEDD_SITE("pt:copy"))
               .rename(AU.Dst, AU.Src);
 
     // A points-to view keyed for base lookups: <Src, BaseObj>.
@@ -194,16 +195,17 @@ bool PointsToAnalysis::solve() {
     // Stores: fieldPt(baseobj, fld) >= pt(src) for store(src, base, fld),
     // baseobj in pt(base).
     Relation StoreObjs =
-        StoreR.compose(Pt, {AU.Src}, {AU.Src}, "pt:store1");
-    FieldPt |= StoreObjs.compose(PtBase, {AU.Base}, {AU.Src}, "pt:store2");
+        StoreR.compose(Pt, {AU.Src}, {AU.Src}, JEDD_SITE("pt:store1"));
+    FieldPt |= StoreObjs.compose(PtBase, {AU.Base}, {AU.Src},
+                                 JEDD_SITE("pt:store2"));
 
     // Loads: pt(dst) >= fieldPt(baseobj, fld) for load(base, fld, dst),
     // baseobj in pt(base).
     Relation LoadBases =
-        LoadR.compose(PtBase, {AU.Base}, {AU.Src}, "pt:load1");
+        LoadR.compose(PtBase, {AU.Base}, {AU.Src}, JEDD_SITE("pt:load1"));
     Pt |= LoadBases
               .compose(FieldPt, {AU.BaseObj, AU.Fld},
-                       {AU.BaseObj, AU.Fld}, "pt:load2")
+                       {AU.BaseObj, AU.Fld}, JEDD_SITE("pt:load2"))
               .rename(AU.Dst, AU.Src);
 
     if (Pt == OldPt && FieldPt == OldFieldPt)
@@ -267,9 +269,11 @@ void CallGraphBuilder::run() {
 
     // Receiver classes per call site, through the points-to sets.
     Relation RecvObjs =
-        CallRecvSig.compose(PTA.Pt, {AU.Src}, {AU.Src}, "cg:recvobjs");
+        CallRecvSig.compose(PTA.Pt, {AU.Src}, {AU.Src},
+                            JEDD_SITE("cg:recvobjs"));
     Relation RecvTypes =
-        RecvObjs.compose(SiteType, {AU.Obj}, {AU.Obj}, "cg:recvtypes")
+        RecvObjs.compose(SiteType, {AU.Obj}, {AU.Obj},
+                         JEDD_SITE("cg:recvtypes"))
             .rename(AU.Typ, AU.RecT);
 
     Relation Targets = VCR.resolve(RecvTypes);
@@ -302,21 +306,24 @@ SideEffectAnalysis::SideEffectAnalysis(AnalysisUniverse &AU,
   // Direct effects: stores write, loads read (object, field) pairs,
   // attributed to the method containing the statement.
   Relation StoreBases =
-      PTA.StoreR.project({AU.Src}, "se:wproj"); // <Base, Fld>
+      PTA.StoreR.project({AU.Src}, JEDD_SITE("se:wproj")); // <Base, Fld>
   Relation StoreOwned = StoreBases.rename(AU.Base, AU.Src)
-                            .join(VarMethod, {AU.Src}, {AU.Src}, "se:wown");
+                            .join(VarMethod, {AU.Src}, {AU.Src},
+                                  JEDD_SITE("se:wown"));
   DirectWrite =
-      StoreOwned.compose(PtBase, {AU.Src}, {AU.Src}, "se:wpt");
+      StoreOwned.compose(PtBase, {AU.Src}, {AU.Src}, JEDD_SITE("se:wpt"));
 
-  Relation LoadBases = PTA.LoadR.project({AU.Dst}, "se:rproj");
+  Relation LoadBases = PTA.LoadR.project({AU.Dst}, JEDD_SITE("se:rproj"));
   Relation LoadOwned = LoadBases.rename(AU.Base, AU.Src)
-                           .join(VarMethod, {AU.Src}, {AU.Src}, "se:rown");
-  DirectRead = LoadOwned.compose(PtBase, {AU.Src}, {AU.Src}, "se:rpt");
+                           .join(VarMethod, {AU.Src}, {AU.Src},
+                                 JEDD_SITE("se:rown"));
+  DirectRead = LoadOwned.compose(PtBase, {AU.Src}, {AU.Src},
+                                 JEDD_SITE("se:rpt"));
 
   // Method-level call edges, then reflexive-transitive closure.
   Relation MethodEdges =
-      CGB.CallerOf.join(CGB.Cg, {AU.Call}, {AU.Call}, "se:edges")
-          .projectTo({AU.Mth, AU.Callee}, "se:edges2");
+      CGB.CallerOf.join(CGB.Cg, {AU.Call}, {AU.Call}, JEDD_SITE("se:edges"))
+          .projectTo({AU.Mth, AU.Callee}, JEDD_SITE("se:edges2"));
   Relation Closure = AU.U.empty({{AU.Mth, AU.M1}, {AU.Callee, AU.M2}});
   for (size_t M = 0; M != AU.Prog.Methods.size(); ++M)
     Closure.insert({M, M});
@@ -324,7 +331,8 @@ SideEffectAnalysis::SideEffectAnalysis(AnalysisUniverse &AU,
   while (true) {
     // closure(m, mid) . edges(mid, callee) — compare Callee with Mth.
     Relation Step =
-        Closure.compose(MethodEdges, {AU.Callee}, {AU.Mth}, "se:close");
+        Closure.compose(MethodEdges, {AU.Callee}, {AU.Mth},
+                        JEDD_SITE("se:close"));
     Relation Next = Closure | Step;
     if (Next == Closure)
       break;
@@ -333,9 +341,11 @@ SideEffectAnalysis::SideEffectAnalysis(AnalysisUniverse &AU,
 
   // Total effects: everything a method's transitive callees do.
   TotalWrite =
-      Closure.compose(DirectWrite, {AU.Callee}, {AU.Mth}, "se:totalw");
+      Closure.compose(DirectWrite, {AU.Callee}, {AU.Mth},
+                      JEDD_SITE("se:totalw"));
   TotalRead =
-      Closure.compose(DirectRead, {AU.Callee}, {AU.Mth}, "se:totalr");
+      Closure.compose(DirectRead, {AU.Callee}, {AU.Mth},
+                      JEDD_SITE("se:totalr"));
 }
 
 //===----------------------------------------------------------------------===//

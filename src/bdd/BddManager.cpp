@@ -7,6 +7,7 @@
 
 #include "bdd/Bdd.h"
 #include "bdd/ParallelEngine.h"
+#include "obs/Obs.h"
 #include "util/StringUtils.h"
 
 #include <algorithm>
@@ -54,6 +55,26 @@ inline uint32_t refLoad(const uint32_t &Count, bool Atomic) {
     return std::atomic_ref<const uint32_t>(Count).load(
         std::memory_order_acquire);
   return Count;
+}
+
+/// Static span names for apply()'s operators (obs span names must
+/// outlive the event).
+inline const char *applyOpName(Op Operator) {
+  switch (Operator) {
+  case Op::And:
+    return "and";
+  case Op::Or:
+    return "or";
+  case Op::Xor:
+    return "xor";
+  case Op::Diff:
+    return "diff";
+  case Op::Imp:
+    return "imp";
+  case Op::Biimp:
+    return "biimp";
+  }
+  return "apply";
 }
 
 } // namespace
@@ -249,6 +270,8 @@ void Manager::markRec(NodeRef N) {
 }
 
 void Manager::gcImpl() {
+  obs::SpanGuard Span(obs::Cat::Gc, "collect");
+  size_t FreeBefore = FreeCount;
   // Concurrent growth may have outpaced Marks; GC runs at exclusive
   // points, so resizing here is safe.
   if (Marks.size() < Nodes.size())
@@ -281,6 +304,14 @@ void Manager::gcImpl() {
   clearCache();
   FreeApprox.store(FreeCount, std::memory_order_relaxed);
   ++GcRuns;
+  if (Span.active()) {
+    Span.arg("capacity", Nodes.size());
+    Span.arg("live_nodes", Nodes.size() - FreeCount - 2);
+    Span.arg("freed_nodes", FreeCount - FreeBefore);
+    obs::Tracer &T = obs::Tracer::instance();
+    T.counterAdd("gc.runs");
+    T.histRecord("gc.freed_nodes", FreeCount - FreeBefore);
+  }
   assert(cachesEmptyImpl() &&
          "computed caches must be empty after a collection");
 }
@@ -546,14 +577,34 @@ NodeRef Manager::applyRec(Op Operator, NodeRef F, NodeRef G) {
 Bdd Manager::apply(Op Operator, const Bdd &F, const Bdd &G) {
   assert(F.manager() == this && G.manager() == this &&
          "operands belong to another manager");
+  // nodeCount takes the manager's own locks, so operand counts are read
+  // before the operation's lock scope and the result count after it.
+  obs::SpanGuard Span(obs::Cat::Bdd, applyOpName(Operator));
+  if (Span.active()) {
+    Span.arg("left_nodes", nodeCount(F));
+    Span.arg("right_nodes", nodeCount(G));
+  }
   if (ParMode) {
     maybeGcShared();
-    std::shared_lock<std::shared_mutex> Lock(OpLock);
-    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-    return Bdd(this, Par->apply(Operator, F.ref(), G.ref()));
+    Bdd Result;
+    {
+      std::shared_lock<std::shared_mutex> Lock(OpLock);
+      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+      Result = Bdd(this, Par->apply(Operator, F.ref(), G.ref()));
+    }
+    if (Span.active())
+      Span.arg("result_nodes", nodeCount(Result));
+    return Result;
   }
+  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
   gcIfNeededImpl();
-  return Bdd(this, applyRec(Operator, F.ref(), G.ref()));
+  Bdd Result(this, applyRec(Operator, F.ref(), G.ref()));
+  if (Span.active()) {
+    Span.arg("result_nodes", nodeCount(Result));
+    Span.arg("cache_hits", CacheHits - Hits0);
+    Span.arg("cache_lookups", CacheLookups - Lookups0);
+  }
+  return Result;
 }
 
 NodeRef Manager::notRec(NodeRef F) {
@@ -612,14 +663,32 @@ NodeRef Manager::iteRec(NodeRef F, NodeRef G, NodeRef H) {
 Bdd Manager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
   assert(F.manager() == this && G.manager() == this && H.manager() == this &&
          "operands belong to another manager");
+  obs::SpanGuard Span(obs::Cat::Bdd, "ite");
+  if (Span.active()) {
+    Span.arg("left_nodes", nodeCount(F));
+    Span.arg("right_nodes", nodeCount(G));
+  }
   if (ParMode) {
     maybeGcShared();
-    std::shared_lock<std::shared_mutex> Lock(OpLock);
-    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-    return Bdd(this, Par->ite(F.ref(), G.ref(), H.ref()));
+    Bdd Result;
+    {
+      std::shared_lock<std::shared_mutex> Lock(OpLock);
+      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+      Result = Bdd(this, Par->ite(F.ref(), G.ref(), H.ref()));
+    }
+    if (Span.active())
+      Span.arg("result_nodes", nodeCount(Result));
+    return Result;
   }
+  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
   gcIfNeededImpl();
-  return Bdd(this, iteRec(F.ref(), G.ref(), H.ref()));
+  Bdd Result(this, iteRec(F.ref(), G.ref(), H.ref()));
+  if (Span.active()) {
+    Span.arg("result_nodes", nodeCount(Result));
+    Span.arg("cache_hits", CacheHits - Hits0);
+    Span.arg("cache_lookups", CacheLookups - Lookups0);
+  }
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -682,14 +751,30 @@ NodeRef Manager::existsRec(NodeRef F, NodeRef CubeBdd) {
 Bdd Manager::exists(const Bdd &F, const Bdd &CubeBdd) {
   assert(F.manager() == this && CubeBdd.manager() == this &&
          "operands belong to another manager");
+  obs::SpanGuard Span(obs::Cat::Bdd, "exists");
+  if (Span.active())
+    Span.arg("left_nodes", nodeCount(F));
   if (ParMode) {
     maybeGcShared();
-    std::shared_lock<std::shared_mutex> Lock(OpLock);
-    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-    return Bdd(this, Par->exists(F.ref(), CubeBdd.ref()));
+    Bdd Result;
+    {
+      std::shared_lock<std::shared_mutex> Lock(OpLock);
+      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+      Result = Bdd(this, Par->exists(F.ref(), CubeBdd.ref()));
+    }
+    if (Span.active())
+      Span.arg("result_nodes", nodeCount(Result));
+    return Result;
   }
+  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
   gcIfNeededImpl();
-  return Bdd(this, existsRec(F.ref(), CubeBdd.ref()));
+  Bdd Result(this, existsRec(F.ref(), CubeBdd.ref()));
+  if (Span.active()) {
+    Span.arg("result_nodes", nodeCount(Result));
+    Span.arg("cache_hits", CacheHits - Hits0);
+    Span.arg("cache_lookups", CacheLookups - Lookups0);
+  }
+  return Result;
 }
 
 NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
@@ -733,14 +818,32 @@ NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
 Bdd Manager::relProd(const Bdd &F, const Bdd &G, const Bdd &CubeBdd) {
   assert(F.manager() == this && G.manager() == this &&
          CubeBdd.manager() == this && "operands belong to another manager");
+  obs::SpanGuard Span(obs::Cat::Bdd, "relProd");
+  if (Span.active()) {
+    Span.arg("left_nodes", nodeCount(F));
+    Span.arg("right_nodes", nodeCount(G));
+  }
   if (ParMode) {
     maybeGcShared();
-    std::shared_lock<std::shared_mutex> Lock(OpLock);
-    ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-    return Bdd(this, Par->relProd(F.ref(), G.ref(), CubeBdd.ref()));
+    Bdd Result;
+    {
+      std::shared_lock<std::shared_mutex> Lock(OpLock);
+      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+      Result = Bdd(this, Par->relProd(F.ref(), G.ref(), CubeBdd.ref()));
+    }
+    if (Span.active())
+      Span.arg("result_nodes", nodeCount(Result));
+    return Result;
   }
+  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
   gcIfNeededImpl();
-  return Bdd(this, relProdRec(F.ref(), G.ref(), CubeBdd.ref()));
+  Bdd Result(this, relProdRec(F.ref(), G.ref(), CubeBdd.ref()));
+  if (Span.active()) {
+    Span.arg("result_nodes", nodeCount(Result));
+    Span.arg("cache_hits", CacheHits - Hits0);
+    Span.arg("cache_lookups", CacheLookups - Lookups0);
+  }
+  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -791,12 +894,20 @@ NodeRef Manager::replaceRec(NodeRef F, const std::vector<int> &FullMap,
 Bdd Manager::replace(const Bdd &F, const std::vector<int> &Map) {
   assert(F.manager() == this && "operand belongs to another manager");
   assert(Map.size() <= NumVars && "replace map covers client variables only");
+  obs::SpanGuard Span(obs::Cat::Bdd, "replace");
+  if (Span.active())
+    Span.arg("left_nodes", nodeCount(F));
+  Bdd Result;
   if (ParMode) {
     std::unique_lock<std::shared_mutex> Lock(OpLock);
     exclusiveProlog();
-    return replaceImpl(F, Map);
+    Result = replaceImpl(F, Map);
+  } else {
+    Result = replaceImpl(F, Map);
   }
-  return replaceImpl(F, Map);
+  if (Span.active())
+    Span.arg("result_nodes", nodeCount(Result));
+  return Result;
 }
 
 Bdd Manager::replaceImpl(const Bdd &F, const std::vector<int> &Map) {

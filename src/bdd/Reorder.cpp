@@ -37,6 +37,7 @@
 
 #include "bdd/Bdd.h"
 #include "bdd/ParallelEngine.h"
+#include "obs/Obs.h"
 
 #include <algorithm>
 #include <chrono>
@@ -281,6 +282,8 @@ void Manager::reorderImpl(bool Force) {
     InReorder = false;
     return;
   }
+  obs::SpanGuard Span(obs::Cat::Reorder, "sift");
+  size_t Swaps0 = RStats.Swaps, BlockMoves0 = RStats.BlockMoves;
   RStats.NodesBefore = Before;
 
   // Working layout: declared blocks plus a singleton block per uncovered
@@ -413,6 +416,13 @@ void Manager::reorderImpl(bool Force) {
       std::chrono::duration_cast<std::chrono::microseconds>(
           std::chrono::steady_clock::now() - StartTime)
           .count());
+  if (Span.active()) {
+    Span.arg("nodes_before", Before);
+    Span.arg("nodes_after", After);
+    Span.arg("swaps", RStats.Swaps - Swaps0);
+    Span.arg("block_moves", RStats.BlockMoves - BlockMoves0);
+    obs::Tracer::instance().counterAdd("reorder.runs");
+  }
   ReorderBaseline = std::max(RCfg.MinNodes, After);
   updateReorderTrigger();
   VarNodes.clear();

@@ -44,7 +44,7 @@ Relation Interpreter::alignTo(const Relation &Value,
   for (const AttrBinding &B : Target)
     if (Value.physOf(B.Attr) != B.Phys) {
       ++ReplacesExecuted;
-      return Value.withBindings(Target, "replace");
+      return Value.withBindings(Target, JEDD_SITE("replace"));
     }
   return Value;
 }
@@ -84,7 +84,10 @@ Relation Interpreter::evalOperand(const Expr &E,
 
 Relation Interpreter::evalExpr(const Expr &E) {
   const DomainAssigner &A = assigner();
-  std::string Site = strFormat("%u,%u", E.Loc.Line, E.Loc.Col);
+  // Site labels for interpreted programs carry the expression's source
+  // position; the label string must outlive the relational call it tags.
+  std::string SiteLabel = strFormat("%u,%u", E.Loc.Line, E.Loc.Col);
+  rel::Site At(SiteLabel.c_str(), "<jedd>", E.Loc.Line);
 
   switch (E.Kind) {
   case ExprKind::VarRef:
@@ -109,7 +112,7 @@ Relation Interpreter::evalExpr(const Expr &E) {
     Relation V = evalOperand(*E.Sub, toBindings(A.operandWrapperBindings(E, 0)));
     uint32_t From =
         static_cast<uint32_t>(prog().Symbols.findAttribute(E.From));
-    return V.project({From}, Site.c_str());
+    return V.project({From}, At);
   }
 
   case ExprKind::Rename: {
@@ -117,7 +120,7 @@ Relation Interpreter::evalExpr(const Expr &E) {
     uint32_t From =
         static_cast<uint32_t>(prog().Symbols.findAttribute(E.From));
     uint32_t To = static_cast<uint32_t>(prog().Symbols.findAttribute(E.To));
-    return V.rename(From, To, Site.c_str());
+    return V.rename(From, To, At);
   }
 
   case ExprKind::Copy: {
@@ -127,9 +130,9 @@ Relation Interpreter::evalExpr(const Expr &E) {
     uint32_t To = static_cast<uint32_t>(prog().Symbols.findAttribute(E.To));
     uint32_t CopyTo =
         static_cast<uint32_t>(prog().Symbols.findAttribute(E.CopyTo));
-    Relation Renamed = To == From ? V : V.rename(From, To, Site.c_str());
+    Relation Renamed = To == From ? V : V.rename(From, To, At);
     return Renamed.copy(To, CopyTo, A.physOf(E.NodeId, CopyTo),
-                        Site.c_str());
+                        At);
   }
 
   case ExprKind::Union:
@@ -159,8 +162,8 @@ Relation Interpreter::evalExpr(const Expr &E) {
       RAttrs.push_back(
           static_cast<uint32_t>(prog().Symbols.findAttribute(Name)));
     if (E.Kind == ExprKind::Join)
-      return L.join(R, LAttrs, RAttrs, Site.c_str());
-    return L.compose(R, LAttrs, RAttrs, Site.c_str());
+      return L.join(R, LAttrs, RAttrs, At);
+    return L.compose(R, LAttrs, RAttrs, At);
   }
   }
   fatalError("unhandled expression kind in the interpreter");

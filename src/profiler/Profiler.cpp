@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "profiler/Profiler.h"
+#include "bdd/Bdd.h"
 #include "util/StringUtils.h"
 
 #include <algorithm>
@@ -15,8 +16,59 @@
 using namespace jedd;
 using namespace jedd::prof;
 
+void Profiler::onSpan(const obs::SpanEvent &Event) {
+  // The profiler models the relational layer (Section 4.3); kernel, GC,
+  // reorder and SAT spans belong to the trace/metrics sinks.
+  if (Event.Category != obs::Cat::Rel)
+    return;
+  OpRecord R;
+  R.OpKind = Event.Name;
+  R.Site = {Event.SiteLabel, Event.SiteFile, Event.SiteLine};
+  R.Micros = Event.DurMicros;
+  R.LeftNodes = static_cast<size_t>(Event.argOr("left_nodes"));
+  R.RightNodes = static_cast<size_t>(Event.argOr("right_nodes"));
+  R.ResultNodes = static_cast<size_t>(Event.argOr("result_nodes"));
+  R.ResultTuples = Event.ResultTuples < 0 ? 0.0 : Event.ResultTuples;
+  R.ResultShape = Event.ResultShape;
+  std::lock_guard<std::mutex> G(Lock);
+  Records.push_back(std::move(R));
+}
+
+void Profiler::observe(const bdd::ManagerStats &S) {
+  std::lock_guard<std::mutex> G(Lock);
+  if (S.NumThreads > 1) {
+    ParallelSnapshot Snap;
+    Snap.NumThreads = S.NumThreads;
+    Snap.ParallelOps = S.ParallelOps;
+    Snap.TasksForked = S.TasksForked;
+    Snap.TasksStolen = S.TasksStolen;
+    for (const bdd::WorkerStats &W : S.Workers)
+      Snap.Workers.push_back({W.CacheHits, W.CacheLookups, W.TasksForked,
+                              W.TasksExecuted, W.TasksStolen});
+    Parallel = std::move(Snap);
+  }
+  if (S.ReorderRuns > 0) {
+    ReorderSnapshot Snap;
+    Snap.Runs = S.ReorderRuns;
+    Snap.Swaps = S.ReorderSwaps;
+    Snap.BlockMoves = S.ReorderBlockMoves;
+    Snap.NodesBefore = S.ReorderNodesBefore;
+    Snap.NodesAfter = S.ReorderNodesAfter;
+    Snap.Micros = S.ReorderMicros;
+    Reorder = Snap;
+  }
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> G(Lock);
+  Records.clear();
+  Parallel = ParallelSnapshot();
+  Reorder = ReorderSnapshot();
+}
+
 std::vector<OpSummary> Profiler::summarize() const {
-  std::map<std::pair<std::string, std::string>, OpSummary> ByKey;
+  std::lock_guard<std::mutex> G(Lock);
+  std::map<std::pair<std::string, OpSite>, OpSummary> ByKey;
   for (const OpRecord &R : Records) {
     OpSummary &S = ByKey[{R.OpKind, R.Site}];
     S.OpKind = R.OpKind;
@@ -36,6 +88,22 @@ std::vector<OpSummary> Profiler::summarize() const {
               return std::tie(A.OpKind, A.Site) < std::tie(B.OpKind, B.Site);
             });
   return Result;
+}
+
+/// Renders a site cell: the label, plus a file:line link when the site
+/// carries a source location (the paper's profiler links every summary
+/// row back to the Jedd source line).
+static std::string renderSiteCell(const OpSite &Site) {
+  std::string Cell = escapeHtml(Site.Label);
+  if (!Site.File.empty()) {
+    std::string Loc = strFormat("%s:%u", Site.File.c_str(), Site.Line);
+    if (!Cell.empty())
+      Cell += " ";
+    Cell += strFormat("<small><a href=\"%s\">%s</a></small>",
+                      escapeHtml(Site.File).c_str(),
+                      escapeHtml(Loc).c_str());
+  }
+  return Cell;
 }
 
 /// Renders one BDD shape (nodes per level) as a small inline SVG bar
@@ -75,16 +143,27 @@ std::string Profiler::renderHtml() const {
       "th{background:#eee}td.l,th.l{text-align:left}"
       "</style></head><body><h1>Jedd operation profile</h1>";
 
+  std::vector<OpSummary> Summaries = summarize();
+  std::vector<OpRecord> RecordsCopy;
+  ParallelSnapshot ParallelCopy;
+  ReorderSnapshot ReorderCopy;
+  {
+    std::lock_guard<std::mutex> G(Lock);
+    RecordsCopy = Records;
+    ParallelCopy = Parallel;
+    ReorderCopy = Reorder;
+  }
+
   // Overall view.
   Html += "<h2>Summary by operation</h2><table><tr>"
           "<th class=\"l\">operation</th><th class=\"l\">site</th>"
           "<th>executions</th><th>total time (&micro;s)</th>"
           "<th>max result nodes</th></tr>";
-  for (const OpSummary &S : summarize())
+  for (const OpSummary &S : Summaries)
     Html += strFormat("<tr><td class=\"l\">%s</td><td class=\"l\">%s</td>"
                       "<td>%llu</td><td>%llu</td><td>%zu</td></tr>",
                       escapeHtml(S.OpKind).c_str(),
-                      escapeHtml(S.Site).c_str(),
+                      renderSiteCell(S.Site).c_str(),
                       static_cast<unsigned long long>(S.Count),
                       static_cast<unsigned long long>(S.TotalMicros),
                       S.MaxResultNodes);
@@ -92,16 +171,16 @@ std::string Profiler::renderHtml() const {
 
   // Parallel-engine efficiency, when the manager ran multi-core
   // (docs/parallelism.md explains how to read these counters).
-  if (Parallel.NumThreads > 1) {
+  if (ParallelCopy.NumThreads > 1) {
     size_t TotalHits = 0, TotalLookups = 0;
-    for (const ParallelSnapshot::Worker &W : Parallel.Workers) {
+    for (const ParallelSnapshot::Worker &W : ParallelCopy.Workers) {
       TotalHits += W.CacheHits;
       TotalLookups += W.CacheLookups;
     }
     double StealRatio =
-        Parallel.TasksForked
-            ? 100.0 * static_cast<double>(Parallel.TasksStolen) /
-                  static_cast<double>(Parallel.TasksForked)
+        ParallelCopy.TasksForked
+            ? 100.0 * static_cast<double>(ParallelCopy.TasksStolen) /
+                  static_cast<double>(ParallelCopy.TasksForked)
             : 0.0;
     double HitRate =
         TotalLookups ? 100.0 * static_cast<double>(TotalHits) /
@@ -112,13 +191,14 @@ std::string Profiler::renderHtml() const {
         "<p>%u threads &middot; %zu parallel operations &middot; "
         "%zu tasks forked, %zu stolen (%.1f%%) &middot; "
         "per-thread cache hit rate %.1f%%</p>",
-        Parallel.NumThreads, Parallel.ParallelOps, Parallel.TasksForked,
-        Parallel.TasksStolen, StealRatio, HitRate);
+        ParallelCopy.NumThreads, ParallelCopy.ParallelOps,
+        ParallelCopy.TasksForked, ParallelCopy.TasksStolen, StealRatio,
+        HitRate);
     Html += "<table><tr><th>thread</th><th>cache hits</th>"
             "<th>cache lookups</th><th>forked</th><th>executed</th>"
             "<th>stolen</th></tr>";
-    for (size_t I = 0; I != Parallel.Workers.size(); ++I) {
-      const ParallelSnapshot::Worker &W = Parallel.Workers[I];
+    for (size_t I = 0; I != ParallelCopy.Workers.size(); ++I) {
+      const ParallelSnapshot::Worker &W = ParallelCopy.Workers[I];
       Html += strFormat("<tr><td>%zu</td><td>%zu</td><td>%zu</td>"
                         "<td>%zu</td><td>%zu</td><td>%zu</td></tr>",
                         I, W.CacheHits, W.CacheLookups, W.TasksForked,
@@ -129,20 +209,20 @@ std::string Profiler::renderHtml() const {
 
   // Dynamic variable reordering, when sifting ever ran
   // (docs/reordering.md explains the algorithm and these counters).
-  if (Reorder.Runs > 0) {
+  if (ReorderCopy.Runs > 0) {
     double Shrink =
-        Reorder.NodesBefore
-            ? 100.0 * (1.0 - static_cast<double>(Reorder.NodesAfter) /
-                                 static_cast<double>(Reorder.NodesBefore))
+        ReorderCopy.NodesBefore
+            ? 100.0 * (1.0 - static_cast<double>(ReorderCopy.NodesAfter) /
+                                 static_cast<double>(ReorderCopy.NodesBefore))
             : 0.0;
     Html += strFormat(
         "<h2>Dynamic variable reordering</h2>"
         "<p>%zu sifting passes &middot; %zu block moves, %zu level swaps "
         "&middot; latest pass: %zu &rarr; %zu live nodes (%.1f%% smaller) "
         "&middot; %llu &micro;s total</p>",
-        Reorder.Runs, Reorder.BlockMoves, Reorder.Swaps,
-        Reorder.NodesBefore, Reorder.NodesAfter, Shrink,
-        static_cast<unsigned long long>(Reorder.Micros));
+        ReorderCopy.Runs, ReorderCopy.BlockMoves, ReorderCopy.Swaps,
+        ReorderCopy.NodesBefore, ReorderCopy.NodesAfter, Shrink,
+        static_cast<unsigned long long>(ReorderCopy.Micros));
   }
 
   // Detailed view.
@@ -150,32 +230,32 @@ std::string Profiler::renderHtml() const {
           "<th class=\"l\">operation</th><th class=\"l\">site</th>"
           "<th>time (&micro;s)</th><th>operand nodes</th>"
           "<th>result nodes</th><th>result tuples</th></tr>";
-  for (size_t I = 0; I != Records.size(); ++I) {
-    const OpRecord &R = Records[I];
+  for (size_t I = 0; I != RecordsCopy.size(); ++I) {
+    const OpRecord &R = RecordsCopy[I];
     Html += strFormat(
         "<tr><td>%zu</td><td class=\"l\">%s</td><td class=\"l\">%s</td>"
         "<td>%llu</td><td>%zu / %zu</td><td>%zu</td><td>%.0f</td></tr>",
-        I, escapeHtml(R.OpKind).c_str(), escapeHtml(R.Site).c_str(),
+        I, escapeHtml(R.OpKind).c_str(), renderSiteCell(R.Site).c_str(),
         static_cast<unsigned long long>(R.Micros), R.LeftNodes, R.RightNodes,
         R.ResultNodes, R.ResultTuples);
   }
   Html += "</table>";
 
   // Shape charts for the largest executions.
-  std::vector<size_t> Order(Records.size());
+  std::vector<size_t> Order(RecordsCopy.size());
   for (size_t I = 0; I != Order.size(); ++I)
     Order[I] = I;
   std::sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
-    return Records[A].ResultNodes > Records[B].ResultNodes;
+    return RecordsCopy[A].ResultNodes > RecordsCopy[B].ResultNodes;
   });
   Html += "<h2>Shapes of the largest results</h2>";
   for (size_t K = 0; K != std::min<size_t>(Order.size(), 12); ++K) {
-    const OpRecord &R = Records[Order[K]];
+    const OpRecord &R = RecordsCopy[Order[K]];
     if (R.ResultNodes == 0)
       break;
     Html += strFormat("<h3>#%zu %s at %s — %zu nodes</h3>", Order[K],
                       escapeHtml(R.OpKind).c_str(),
-                      escapeHtml(R.Site).c_str(), R.ResultNodes);
+                      renderSiteCell(R.Site).c_str(), R.ResultNodes);
     Html += renderShapeSvg(R.ResultShape);
   }
   Html += "</body></html>\n";

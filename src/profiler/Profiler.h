@@ -15,22 +15,55 @@
 /// finding oversized BDDs, and inspecting their shapes to tune variable
 /// orderings and physical domain assignments.
 ///
+/// The profiler is a *consumer* of the observability event stream
+/// (src/obs, docs/observability.md), not a recording path of its own:
+/// attach() subscribes it to the process-wide obs::Tracer, every finished
+/// relational span becomes one OpRecord, and one observe() call with the
+/// manager's cumulative counters fills the parallel-efficiency and
+/// reordering sections. Operations are attributed to rel::Site program
+/// points (label + file:line), matching how the paper's profiler links
+/// cost back to Jedd source lines.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JEDDPP_PROFILER_PROFILER_H
 #define JEDDPP_PROFILER_PROFILER_H
 
+#include "obs/Obs.h"
+
 #include <cstdint>
+#include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace jedd {
+
+namespace bdd {
+struct ManagerStats;
+}
+
 namespace prof {
+
+/// Owned copy of a rel::Site — the key operations are attributed to.
+struct OpSite {
+  std::string Label; ///< Program-point label ("" = unattributed).
+  std::string File;  ///< Source file of the call site ("" = unknown).
+  uint32_t Line = 0;
+
+  friend bool operator==(const OpSite &A, const OpSite &B) {
+    return A.Label == B.Label && A.File == B.File && A.Line == B.Line;
+  }
+  friend bool operator<(const OpSite &A, const OpSite &B) {
+    return std::tie(A.Label, A.File, A.Line) <
+           std::tie(B.Label, B.File, B.Line);
+  }
+};
 
 /// One executed relational operation.
 struct OpRecord {
   std::string OpKind; ///< "join", "compose", "union", "replace", ...
-  std::string Site;   ///< Program-point label supplied by the caller.
+  OpSite Site;        ///< Program point that executed it.
   uint64_t Micros = 0;
   size_t LeftNodes = 0;
   size_t RightNodes = 0; ///< Zero for unary operations.
@@ -39,10 +72,10 @@ struct OpRecord {
   std::vector<size_t> ResultShape; ///< Nodes per BDD level.
 };
 
-/// Snapshot of a BDD manager's parallel-engine counters, mirrored from
-/// bdd::ManagerStats by the relational layer so the report can show
-/// parallel efficiency next to the operation profile. NumThreads == 1
-/// means the manager ran the serial engine and the section is omitted.
+/// Snapshot of a BDD manager's parallel-engine counters, filled by
+/// observe() from bdd::ManagerStats so the report can show parallel
+/// efficiency next to the operation profile. NumThreads == 1 means the
+/// manager ran the serial engine and the section is omitted.
 struct ParallelSnapshot {
   unsigned NumThreads = 1;
   size_t ParallelOps = 0;  ///< Top-level ops dispatched to the pool.
@@ -59,8 +92,8 @@ struct ParallelSnapshot {
 };
 
 /// Snapshot of a BDD manager's dynamic variable-reordering counters
-/// (docs/reordering.md), mirrored from bdd::ManagerStats. Runs == 0
-/// means reordering never fired and the section is omitted.
+/// (docs/reordering.md), filled by observe() from bdd::ManagerStats.
+/// Runs == 0 means reordering never fired and the section is omitted.
 struct ReorderSnapshot {
   size_t Runs = 0;        ///< Completed sifting passes.
   size_t Swaps = 0;       ///< Adjacent-level swaps performed in total.
@@ -74,48 +107,64 @@ struct ReorderSnapshot {
 /// the "overall profile view" of Section 4.3.
 struct OpSummary {
   std::string OpKind;
-  std::string Site;
+  OpSite Site;
   uint64_t Count = 0;
   uint64_t TotalMicros = 0;
   size_t MaxResultNodes = 0;
 };
 
-/// Collects operation records and renders the browsable report.
-class Profiler {
+/// Consumes relational spans from the observability stream and renders
+/// the browsable report.
+class Profiler : public obs::SpanSubscriber {
 public:
-  void record(OpRecord Record) { Records.push_back(std::move(Record)); }
-  void clear() {
-    Records.clear();
-    Parallel = ParallelSnapshot();
-    Reorder = ReorderSnapshot();
+  Profiler() = default;
+  ~Profiler() override { detach(); }
+
+  /// Subscribes to the process-wide tracer: every relational span
+  /// finishing anywhere in the process becomes one OpRecord.
+  void attach() {
+    obs::Tracer::instance().subscribe(this);
+    Attached = true;
+  }
+  void detach() {
+    if (Attached)
+      obs::Tracer::instance().unsubscribe(this);
+    Attached = false;
   }
 
+  /// SpanSubscriber: keeps relational spans, ignores the rest.
+  /// Thread-safe (spans arrive on their emitting threads).
+  void onSpan(const obs::SpanEvent &Event) override;
+  /// Asks emitters for result shapes and tuple counts, which the HTML
+  /// report renders.
+  bool wantsDetail() const override { return true; }
+
+  /// Installs the manager's cumulative parallel-engine and reordering
+  /// counters (call once, after the run; the newest call supersedes).
+  void observe(const bdd::ManagerStats &Stats);
+
+  void clear();
+
+  /// The collected records. Callers must not race attached emitters.
   const std::vector<OpRecord> &records() const { return Records; }
 
-  /// Installs the latest parallel-engine snapshot (counters are
-  /// cumulative, so the newest snapshot supersedes older ones).
-  void setParallel(ParallelSnapshot Snapshot) {
-    Parallel = std::move(Snapshot);
-  }
   const ParallelSnapshot &parallel() const { return Parallel; }
-
-  /// Installs the latest reordering snapshot (counters are cumulative,
-  /// so the newest snapshot supersedes older ones).
-  void setReorder(ReorderSnapshot Snapshot) { Reorder = Snapshot; }
   const ReorderSnapshot &reorder() const { return Reorder; }
 
   /// Per-(kind, site) aggregation, sorted by total time descending.
   std::vector<OpSummary> summarize() const;
 
   /// Renders the full report as one self-contained HTML page: the
-  /// summary table, a detail row per execution, and an SVG shape chart
-  /// for the largest executions.
+  /// summary table (sites linked to file:line), a detail row per
+  /// execution, and an SVG shape chart for the largest executions.
   std::string renderHtml() const;
 
   /// Writes renderHtml() to \p Path. Returns false on I/O failure.
   bool writeHtml(const std::string &Path) const;
 
 private:
+  bool Attached = false;
+  mutable std::mutex Lock;
   std::vector<OpRecord> Records;
   ParallelSnapshot Parallel;
   ReorderSnapshot Reorder;

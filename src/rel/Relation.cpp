@@ -6,12 +6,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "rel/Relation.h"
-#include "profiler/Profiler.h"
+#include "obs/Obs.h"
 #include "util/Fatal.h"
 #include "util/StringUtils.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 using namespace jedd;
@@ -19,83 +18,42 @@ using namespace jedd::rel;
 
 namespace {
 
-/// Scoped profiling of one relational operation; records into the
-/// universe's profiler (if any) on finish().
-class OpTimer {
+/// Scoped observability span for one relational operation
+/// (docs/observability.md). With the obs layer inactive this is one
+/// relaxed atomic load per operation; node counts, tuple counts and
+/// shapes are computed only when something is listening (nodeCount and
+/// levelShape take the manager's own locks, so they must run outside any
+/// operation — which is the case here, in the relational layer).
+class OpSpan {
 public:
-  OpTimer(Universe *U, const char *Kind, const char *Site, size_t LeftNodes,
-          size_t RightNodes)
-      : U(U), Kind(Kind), Site(Site), LeftNodes(LeftNodes),
-        RightNodes(RightNodes) {
-    if (U->profiler())
-      Start = std::chrono::steady_clock::now();
+  OpSpan(Universe *U, const char *Kind, const Site &At)
+      : U(U), Guard(obs::Cat::Rel, Kind, At.Label, At.File, At.Line) {}
+
+  void operand(const Relation &Left) {
+    if (Guard.active())
+      Guard.arg("left_nodes", Left.nodeCount());
+  }
+  void operands(const Relation &Left, const Relation &Right) {
+    if (Guard.active()) {
+      Guard.arg("left_nodes", Left.nodeCount());
+      Guard.arg("right_nodes", Right.nodeCount());
+    }
   }
 
   void finish(const Relation &Result) {
-    prof::Profiler *P = U->profiler();
-    if (!P)
+    if (!Guard.active())
       return;
-    auto End = std::chrono::steady_clock::now();
-    prof::OpRecord R;
-    R.OpKind = Kind;
-    R.Site = Site;
-    R.Micros = static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(End - Start)
-            .count());
-    R.LeftNodes = LeftNodes;
-    R.RightNodes = RightNodes;
-    R.ResultNodes = U->manager().nodeCount(Result.body());
-    R.ResultTuples = Result.size();
-    R.ResultShape = U->manager().levelShape(Result.body());
-    P->record(std::move(R));
-
-    // Keep the report's parallel-efficiency and reordering sections
-    // current: counters are cumulative in the manager, so the latest
-    // snapshot wins.
-    bool WantStats = U->manager().isParallel();
-    bdd::ManagerStats S;
-    if (WantStats)
-      S = U->manager().stats();
-    else {
-      // Reordering can fire in serial managers too; only pay for the
-      // stats call when a pass has ever run.
-      bdd::ReorderStats RS = U->manager().reorderStats();
-      if (RS.Runs > 0) {
-        WantStats = true;
-        S = U->manager().stats();
-      }
+    Guard.arg("result_nodes", U->manager().nodeCount(Result.body()));
+    if (Guard.detail()) {
+      Guard.tuples(Result.size());
+      Guard.shape(U->manager().levelShape(Result.body()));
     }
-    if (!WantStats)
-      return;
-    if (U->manager().isParallel()) {
-      prof::ParallelSnapshot Snap;
-      Snap.NumThreads = S.NumThreads;
-      Snap.ParallelOps = S.ParallelOps;
-      Snap.TasksForked = S.TasksForked;
-      Snap.TasksStolen = S.TasksStolen;
-      for (const bdd::WorkerStats &W : S.Workers)
-        Snap.Workers.push_back({W.CacheHits, W.CacheLookups, W.TasksForked,
-                                W.TasksExecuted, W.TasksStolen});
-      P->setParallel(std::move(Snap));
-    }
-    if (S.ReorderRuns > 0) {
-      prof::ReorderSnapshot Snap;
-      Snap.Runs = S.ReorderRuns;
-      Snap.Swaps = S.ReorderSwaps;
-      Snap.BlockMoves = S.ReorderBlockMoves;
-      Snap.NodesBefore = S.ReorderNodesBefore;
-      Snap.NodesAfter = S.ReorderNodesAfter;
-      Snap.Micros = S.ReorderMicros;
-      P->setReorder(Snap);
-    }
+    Guard.finish();
   }
 
 private:
   Universe *U;
-  const char *Kind;
-  const char *Site;
-  size_t LeftNodes, RightNodes;
-  std::chrono::steady_clock::time_point Start;
+  obs::SpanGuard Guard;
 };
 
 } // namespace
@@ -137,8 +95,7 @@ unsigned Relation::schemaBits() const {
 // Alignment: the automatically inserted replace operations
 //===----------------------------------------------------------------------===//
 
-Relation Relation::alignedToThis(const Relation &Other,
-                                 const char *Site) const {
+Relation Relation::alignedToThis(const Relation &Other, Site At) const {
   JEDD_CHECK(U && Other.U, "operation on an invalid relation");
   JEDD_CHECK(U == Other.U, "relations belong to different universes");
   JEDD_CHECK(Schema.size() == Other.Schema.size(),
@@ -155,16 +112,17 @@ Relation Relation::alignedToThis(const Relation &Other,
   }
   if (Moves.empty())
     return Other;
-  OpTimer Timer(U, "replace", Site, Other.nodeCount(), 0);
+  OpSpan Span(U, "replace", At);
+  Span.operand(Other);
   Relation Result(U, Schema, U->pack().replaceDomains(Other.Body, Moves));
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
 Relation Relation::withBindings(const std::vector<AttrBinding> &Target,
-                                const char *Site) const {
+                                Site At) const {
   Relation Dummy(U, normalizeSchema(*U, Target), U->manager().falseBdd());
-  return Dummy.alignedToThis(*this, Site);
+  return Dummy.alignedToThis(*this, At);
 }
 
 //===----------------------------------------------------------------------===//
@@ -172,26 +130,29 @@ Relation Relation::withBindings(const std::vector<AttrBinding> &Target,
 //===----------------------------------------------------------------------===//
 
 Relation Relation::operator|(const Relation &Other) const {
-  Relation Aligned = alignedToThis(Other, "union");
-  OpTimer Timer(U, "union", "", nodeCount(), Aligned.nodeCount());
+  Relation Aligned = alignedToThis(Other, Site("union", "", 0));
+  OpSpan Span(U, "union", {});
+  Span.operands(*this, Aligned);
   Relation Result(U, Schema, Body | Aligned.Body);
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
 Relation Relation::operator&(const Relation &Other) const {
-  Relation Aligned = alignedToThis(Other, "intersect");
-  OpTimer Timer(U, "intersect", "", nodeCount(), Aligned.nodeCount());
+  Relation Aligned = alignedToThis(Other, Site("intersect", "", 0));
+  OpSpan Span(U, "intersect", {});
+  Span.operands(*this, Aligned);
   Relation Result(U, Schema, Body & Aligned.Body);
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
 Relation Relation::operator-(const Relation &Other) const {
-  Relation Aligned = alignedToThis(Other, "difference");
-  OpTimer Timer(U, "difference", "", nodeCount(), Aligned.nodeCount());
+  Relation Aligned = alignedToThis(Other, Site("difference", "", 0));
+  OpSpan Span(U, "difference", {});
+  Span.operands(*this, Aligned);
   Relation Result(U, Schema, Body - Aligned.Body);
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
@@ -209,7 +170,7 @@ Relation &Relation::operator-=(const Relation &Other) {
 }
 
 bool Relation::operator==(const Relation &Other) const {
-  Relation Aligned = alignedToThis(Other, "compare");
+  Relation Aligned = alignedToThis(Other, Site("compare", "", 0));
   return Body == Aligned.Body;
 }
 
@@ -218,7 +179,7 @@ bool Relation::operator==(const Relation &Other) const {
 //===----------------------------------------------------------------------===//
 
 Relation Relation::project(const std::vector<AttributeId> &Remove,
-                           const char *Site) const {
+                           Site At) const {
   JEDD_CHECK(U, "operation on an invalid relation");
   std::vector<PhysDomId> Quantified;
   std::vector<AttrBinding> NewSchema;
@@ -230,25 +191,25 @@ Relation Relation::project(const std::vector<AttributeId> &Remove,
   }
   JEDD_CHECK(Quantified.size() == Remove.size(),
              "projection of an attribute the relation does not have");
-  OpTimer Timer(U, "project", Site, nodeCount(), 0);
+  OpSpan Span(U, "project", At);
+  Span.operand(*this);
   Relation Result(U, std::move(NewSchema),
                   U->manager().exists(Body, U->pack().cubeOf(Quantified)));
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
 Relation Relation::projectTo(const std::vector<AttributeId> &Keep,
-                             const char *Site) const {
+                             Site At) const {
   std::vector<AttributeId> Remove;
   for (const AttrBinding &B : Schema)
     if (std::find(Keep.begin(), Keep.end(), B.Attr) == Keep.end())
       Remove.push_back(B.Attr);
-  return project(Remove, Site);
+  return project(Remove, At);
 }
 
-Relation Relation::rename(AttributeId From, AttributeId To,
-                          const char *Site) const {
-  (void)Site;
+Relation Relation::rename(AttributeId From, AttributeId To, Site At) const {
+  (void)At;
   JEDD_CHECK(U, "operation on an invalid relation");
   JEDD_CHECK(hasAttribute(From), "rename source '" +
                                      U->attributeName(From) +
@@ -266,7 +227,7 @@ Relation Relation::rename(AttributeId From, AttributeId To,
 }
 
 Relation Relation::copy(AttributeId From, AttributeId NewAttr,
-                        PhysDomId PhysForNew, const char *Site) const {
+                        PhysDomId PhysForNew, Site At) const {
   JEDD_CHECK(U, "operation on an invalid relation");
   JEDD_CHECK(hasAttribute(From), "copy source '" + U->attributeName(From) +
                                      "' not in the relation");
@@ -283,12 +244,13 @@ Relation Relation::copy(AttributeId From, AttributeId NewAttr,
     JEDD_CHECK(B.Phys != PhysForNew,
                "copy target physical domain already used by the relation");
 
-  OpTimer Timer(U, "copy", Site, nodeCount(), 0);
+  OpSpan Span(U, "copy", At);
+  Span.operand(*this);
   bdd::Bdd Equal = U->pack().equal(physOf(From), PhysForNew);
   std::vector<AttrBinding> NewSchema = Schema;
   NewSchema.push_back({NewAttr, PhysForNew});
   Relation Result(U, std::move(NewSchema), Body & Equal);
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
@@ -300,8 +262,7 @@ Relation Relation::prepareForMerge(const Relation &Other,
                                    const std::vector<AttributeId> &LeftAttrs,
                                    const std::vector<AttributeId> &RightAttrs,
                                    std::vector<AttrBinding> &OtherKept,
-                                   bool DropLeftCompared,
-                                   const char *Site) const {
+                                   bool DropLeftCompared, Site At) const {
   JEDD_CHECK(U && Other.U, "operation on an invalid relation");
   JEDD_CHECK(U == Other.U, "relations belong to different universes");
   JEDD_CHECK(LeftAttrs.size() == RightAttrs.size(),
@@ -393,7 +354,8 @@ Relation Relation::prepareForMerge(const Relation &Other,
   }
   if (Moves.empty())
     return Other;
-  OpTimer Timer(U, "replace", Site, Other.nodeCount(), 0);
+  OpSpan Span(U, "replace", At);
+  Span.operand(Other);
   std::vector<AttrBinding> NewSchema;
   for (const AttrBinding &B : Other.Schema) {
     PhysDomId NewPhys = NoPhysDom;
@@ -404,35 +366,37 @@ Relation Relation::prepareForMerge(const Relation &Other,
   }
   Relation Result(U, std::move(NewSchema),
                   U->pack().replaceDomains(Other.Body, Moves));
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
 Relation Relation::join(const Relation &Other,
                         const std::vector<AttributeId> &LeftAttrs,
                         const std::vector<AttributeId> &RightAttrs,
-                        const char *Site) const {
+                        Site At) const {
   std::vector<AttrBinding> OtherKept;
   Relation Aligned = prepareForMerge(Other, LeftAttrs, RightAttrs, OtherKept,
-                                     /*DropLeftCompared=*/false, Site);
+                                     /*DropLeftCompared=*/false, At);
 
-  OpTimer Timer(U, "join", Site, nodeCount(), Aligned.nodeCount());
+  OpSpan Span(U, "join", At);
+  Span.operands(*this, Aligned);
   std::vector<AttrBinding> NewSchema = Schema;
   NewSchema.insert(NewSchema.end(), OtherKept.begin(), OtherKept.end());
   Relation Result(U, std::move(NewSchema), Body & Aligned.Body);
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 
 Relation Relation::compose(const Relation &Other,
                            const std::vector<AttributeId> &LeftAttrs,
                            const std::vector<AttributeId> &RightAttrs,
-                           const char *Site) const {
+                           Site At) const {
   std::vector<AttrBinding> OtherKept;
   Relation Aligned = prepareForMerge(Other, LeftAttrs, RightAttrs, OtherKept,
-                                     /*DropLeftCompared=*/true, Site);
+                                     /*DropLeftCompared=*/true, At);
 
-  OpTimer Timer(U, "compose", Site, nodeCount(), Aligned.nodeCount());
+  OpSpan Span(U, "compose", At);
+  Span.operands(*this, Aligned);
   // One relational product: AND + exists over the compared physical
   // domains in a single BDD recursion.
   std::vector<PhysDomId> ComparedPhys;
@@ -448,7 +412,7 @@ Relation Relation::compose(const Relation &Other,
   Relation Result(U, std::move(NewSchema),
                   U->manager().relProd(Body, Aligned.Body,
                                        U->pack().cubeOf(ComparedPhys)));
-  Timer.finish(Result);
+  Span.finish(Result);
   return Result;
 }
 

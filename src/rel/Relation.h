@@ -44,6 +44,7 @@
 #ifndef JEDDPP_REL_RELATION_H
 #define JEDDPP_REL_RELATION_H
 
+#include "rel/Site.h"
 #include "rel/Universe.h"
 
 #include <functional>
@@ -86,21 +87,22 @@ public:
   //===--------------------------------------------------------------===//
 
   /// (a=>)x — removes the listed attributes (existential projection).
+  /// \p At attributes the operation to a program point in the profiler
+  /// and trace output; build it with JEDD_SITE("label") (all Site
+  /// parameters below work the same way).
   Relation project(const std::vector<AttributeId> &Remove,
-                   const char *Site = "") const;
+                   Site At = {}) const;
   /// Keeps exactly the listed attributes.
   Relation projectTo(const std::vector<AttributeId> &Keep,
-                     const char *Site = "") const;
+                     Site At = {}) const;
   /// (a=>b)x — renames attribute \p From to \p To (same domain); the BDD
   /// is unchanged, only the schema map is updated.
-  Relation rename(AttributeId From, AttributeId To,
-                  const char *Site = "") const;
+  Relation rename(AttributeId From, AttributeId To, Site At = {}) const;
   /// (a=>a b)x — adds \p NewAttr carrying a copy of \p From's value.
   /// \p PhysForNew selects the physical domain of the new attribute;
   /// NoPhysDom picks the first free one that fits.
   Relation copy(AttributeId From, AttributeId NewAttr,
-                PhysDomId PhysForNew = NoPhysDom,
-                const char *Site = "") const;
+                PhysDomId PhysForNew = NoPhysDom, Site At = {}) const;
 
   //===--------------------------------------------------------------===//
   // Join and composition
@@ -111,7 +113,7 @@ public:
   Relation join(const Relation &Other,
                 const std::vector<AttributeId> &LeftAttrs,
                 const std::vector<AttributeId> &RightAttrs,
-                const char *Site = "") const;
+                Site At = {}) const;
 
   /// x{L} <> y{R}: like join but the compared attributes are projected
   /// away — implemented as one relational product, which the paper notes
@@ -119,7 +121,7 @@ public:
   Relation compose(const Relation &Other,
                    const std::vector<AttributeId> &LeftAttrs,
                    const std::vector<AttributeId> &RightAttrs,
-                   const char *Site = "") const;
+                   Site At = {}) const;
 
   //===--------------------------------------------------------------===//
   // Physical domain control
@@ -128,7 +130,7 @@ public:
   /// Returns this relation with attributes moved to the physical domains
   /// of \p Target (same attribute set) — an explicit replace operation.
   Relation withBindings(const std::vector<AttrBinding> &Target,
-                        const char *Site = "") const;
+                        Site At = {}) const;
 
   //===--------------------------------------------------------------===//
   // Extraction (Section 2.3)
@@ -180,7 +182,7 @@ private:
 
   /// Checks same universe + same attribute set; returns Other aligned to
   /// this relation's physical domains.
-  Relation alignedToThis(const Relation &Other, const char *Site) const;
+  Relation alignedToThis(const Relation &Other, Site At) const;
 
   /// Shared plumbing of join and compose: aligns Other's compared
   /// attributes onto this one's physical domains and relocates Other's
@@ -194,7 +196,7 @@ private:
                            const std::vector<AttributeId> &LeftAttrs,
                            const std::vector<AttributeId> &RightAttrs,
                            std::vector<AttrBinding> &OtherKept,
-                           bool DropLeftCompared, const char *Site) const;
+                           bool DropLeftCompared, Site At) const;
 
   std::vector<PhysDomId> schemaPhysDoms() const;
   /// Total bits of this schema's physical domains.

@@ -1,0 +1,59 @@
+//===- Site.h - Program-point attribution for relational ops ---*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's profiler attributes every relational operation to the Jedd
+/// source line that executed it (Section 4.3). rel::Site is that
+/// attribution as a value type: a human-readable label plus the source
+/// file and line of the call. Analysis code constructs sites with the
+/// JEDD_SITE macro:
+///
+///   VarToObj = VarToObj.compose(Edges, {Src}, {Dst}, JEDD_SITE("pt:load"));
+///
+/// The members are pointers into string literals (or other storage that
+/// outlives the relational call); consumers that retain sites beyond the
+/// call copy them into owned strings (prof::OpSite, obs::SpanEvent).
+///
+/// A deprecated implicit conversion from `const char *` keeps the old
+/// stringly-typed call sites compiling for one release so they can
+/// migrate mechanically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_REL_SITE_H
+#define JEDDPP_REL_SITE_H
+
+#include <cstdint>
+
+namespace jedd {
+namespace rel {
+
+struct Site {
+  const char *Label = ""; ///< Program-point label ("" = unattributed).
+  const char *File = "";  ///< Source file of the call site ("" = unknown).
+  uint32_t Line = 0;
+
+  constexpr Site() = default;
+  constexpr Site(const char *Label, const char *File, uint32_t Line)
+      : Label(Label), File(File), Line(Line) {}
+
+  /// Transitional: accepts the old bare-string site labels.
+  [[deprecated("pass a rel::Site (use JEDD_SITE(\"label\"))")]] constexpr Site(
+      const char *Label)
+      : Label(Label) {}
+
+  constexpr bool empty() const { return Label[0] == '\0' && Line == 0; }
+};
+
+/// Builds a Site labeled \p LABEL and attributed to the expanding source
+/// location.
+#define JEDD_SITE(LABEL) ::jedd::rel::Site((LABEL), __FILE__, __LINE__)
+
+} // namespace rel
+} // namespace jedd
+
+#endif // JEDDPP_REL_SITE_H

@@ -33,11 +33,6 @@
 #include <vector>
 
 namespace jedd {
-
-namespace prof {
-class Profiler;
-}
-
 namespace rel {
 
 using bdd::PhysDomId;
@@ -160,13 +155,6 @@ public:
   PhysDomId pickFreePhysDom(AttributeId Attr,
                             const std::vector<PhysDomId> &Used) const;
 
-  //===--------------------------------------------------------------===//
-  // Profiling
-  //===--------------------------------------------------------------===//
-
-  void setProfiler(prof::Profiler *P) { Prof = P; }
-  prof::Profiler *profiler() const { return Prof; }
-
 private:
   struct DomInfo {
     std::string Name;
@@ -183,7 +171,6 @@ private:
   std::vector<std::string> PhysNames;
   std::vector<unsigned> PhysRequestedBits;
   std::unique_ptr<bdd::DomainPack> PackPtr;
-  prof::Profiler *Prof = nullptr;
 
   friend class Relation;
 };

@@ -6,6 +6,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "sat/Solver.h"
+#include "obs/Obs.h"
 
 #include <algorithm>
 
@@ -336,6 +337,22 @@ static uint64_t luby(uint64_t X) {
 }
 
 Result Solver::solve() {
+  obs::SpanGuard Span(obs::Cat::Sat, "solve");
+  Result R = solveImpl();
+  if (Span.active()) {
+    Span.arg("vars", VarCount);
+    Span.arg("clauses", Clauses.size());
+    Span.arg("decisions", Stats.Decisions);
+    Span.arg("propagations", Stats.Propagations);
+    Span.arg("conflicts", Stats.Conflicts);
+    Span.arg("learned_clauses", Stats.LearnedClauses);
+    Span.arg("restarts", Stats.Restarts);
+    Span.arg("sat", R == Result::Sat ? 1 : 0);
+  }
+  return R;
+}
+
+Result Solver::solveImpl() {
   assert(!Solved && "solve() may only run once per Solver");
   Solved = true;
 

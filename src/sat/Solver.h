@@ -126,6 +126,8 @@ private:
   }
   bool litIsUnassigned(Lit L) const { return Values[varOf(L)] == 0; }
 
+  Result solveImpl();
+
   void enqueue(Lit L, uint32_t Reason);
   /// Returns the conflicting clause id, or NoReason if propagation
   /// completed without conflict.

@@ -1,0 +1,50 @@
+//===- Json.h - Minimal JSON parser -----------------------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser, enough to round-trip the
+/// observability sinks (Chrome traces, metrics snapshots) in tests.
+/// Numbers are held as doubles; object member order is preserved.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_UTIL_JSON_H
+#define JEDDPP_UTIL_JSON_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace jedd {
+
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isObject() const { return K == Kind::Object; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *get(const std::string &Key) const;
+};
+
+/// Parses \p Text; returns false (with \p Error set to a message with an
+/// offset) on malformed input, leaving \p Out unspecified.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error);
+
+} // namespace jedd
+
+#endif // JEDDPP_UTIL_JSON_H

@@ -1,0 +1,192 @@
+//===- obs_stress_test.cpp - Tracing under concurrency --------------------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+//
+// Stress test (ctest label: stress) for the observability layer under
+// the parallel engine: client threads hammer a shared manager through
+// the multi-core apply/ite/exists/replace paths while tracing buffers
+// spans, a subscriber consumes every event synchronously, forced
+// reordering passes interleave, and one thread toggles tracing on and
+// off. Each client tracks truth tables and verifies them afterwards, so
+// instrumentation that perturbs an operation (or reads node counts
+// under the wrong lock) shows up as a wrong assignment, a deadlock, or
+// a TSan report via tools/run_sanitized_tests.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Obs.h"
+
+#include "bdd/Bdd.h"
+#include "util/Json.h"
+#include "util/Random.h"
+
+#include <atomic>
+#include <gtest/gtest.h>
+#include <thread>
+#include <vector>
+
+using namespace jedd;
+using namespace jedd::bdd;
+
+namespace {
+
+struct LocalFun {
+  Bdd F;
+  std::vector<bool> Table;
+};
+
+/// One client thread's op stream with truth tables kept alongside (the
+/// same oracle as bdd_reorder_stress_test).
+void clientStream(Manager &M, unsigned V, uint64_t Seed, unsigned Ops,
+                  std::vector<LocalFun> &Out) {
+  const size_t N = size_t(1) << V;
+  SplitMix64 Rng(Seed);
+  std::vector<LocalFun> Pool;
+  for (unsigned Var = 0; Var != V; ++Var) {
+    std::vector<bool> T(N);
+    for (size_t I = 0; I != N; ++I)
+      T[I] = (I >> Var) & 1;
+    Pool.push_back({M.var(Var), std::move(T)});
+  }
+  for (unsigned I = 0; I != Ops; ++I) {
+    const LocalFun &A = Pool[Rng.nextBelow(Pool.size())];
+    const LocalFun &B = Pool[Rng.nextBelow(Pool.size())];
+    LocalFun R;
+    switch (Rng.nextBelow(3)) {
+    case 0: {
+      Op Operator = static_cast<Op>(Rng.nextBelow(6));
+      R.F = M.apply(Operator, A.F, B.F);
+      R.Table.resize(N);
+      for (size_t K = 0; K != N; ++K) {
+        bool X = A.Table[K], Y = B.Table[K];
+        switch (Operator) {
+        case Op::And: R.Table[K] = X && Y; break;
+        case Op::Or: R.Table[K] = X || Y; break;
+        case Op::Xor: R.Table[K] = X != Y; break;
+        case Op::Diff: R.Table[K] = X && !Y; break;
+        case Op::Imp: R.Table[K] = !X || Y; break;
+        case Op::Biimp: R.Table[K] = X == Y; break;
+        }
+      }
+      break;
+    }
+    case 1: {
+      const LocalFun &C = Pool[Rng.nextBelow(Pool.size())];
+      R.F = M.ite(A.F, B.F, C.F);
+      R.Table.resize(N);
+      for (size_t K = 0; K != N; ++K)
+        R.Table[K] = A.Table[K] ? B.Table[K] : C.Table[K];
+      break;
+    }
+    default: {
+      unsigned Var = static_cast<unsigned>(Rng.nextBelow(V));
+      R.F = M.exists(A.F, M.cube({Var}));
+      R.Table.resize(N);
+      for (size_t K = 0; K != N; ++K)
+        R.Table[K] = A.Table[K | (size_t(1) << Var)] ||
+                     A.Table[K & ~(size_t(1) << Var)];
+      break;
+    }
+    }
+    if (Pool.size() < size_t(V) + 24)
+      Pool.push_back(std::move(R));
+    else
+      Pool[V + Rng.nextBelow(24)] = std::move(R);
+  }
+  Out = std::move(Pool);
+}
+
+void verifyAll(Manager &M, unsigned V, const std::vector<LocalFun> &Funs) {
+  const size_t N = size_t(1) << V;
+  std::vector<bool> Assignment(V);
+  for (size_t F = 0; F != Funs.size(); ++F) {
+    for (size_t I = 0; I != N; ++I) {
+      for (unsigned Var = 0; Var != V; ++Var)
+        Assignment[Var] = (I >> Var) & 1;
+      ASSERT_EQ(M.evalAssignment(Funs[F].F, Assignment), Funs[F].Table[I])
+          << "function " << F << " assignment " << I;
+    }
+  }
+}
+
+/// Counts every event synchronously on its emitting thread.
+struct CountingSubscriber : obs::SpanSubscriber {
+  std::atomic<uint64_t> Spans{0};
+  void onSpan(const obs::SpanEvent &Event) override {
+    Spans.fetch_add(1, std::memory_order_relaxed);
+    ASSERT_NE(Event.Name, nullptr);
+  }
+  bool wantsDetail() const override { return true; }
+};
+
+TEST(ObsStress, TracingUnderParallelLoadAndReordering) {
+  obs::Tracer &T = obs::Tracer::instance();
+  T.setTracing(false);
+  T.clear();
+
+  const unsigned V = 9;
+  ParallelConfig Cfg;
+  Cfg.NumThreads = 3;
+  Cfg.CutoffDepth = 3;
+  Manager M(V, 1 << 10, 1 << 12, Cfg);
+
+  CountingSubscriber Sub;
+  T.subscribe(&Sub);
+  T.setTracing(true);
+
+  const unsigned Clients = 3;
+  std::vector<std::vector<LocalFun>> Results(Clients);
+  std::atomic<unsigned> Running{Clients};
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C)
+    Threads.emplace_back([&M, C, &Results, &Running] {
+      clientStream(M, V, 0xD00D + C, 250, Results[C]);
+      Running.fetch_sub(1);
+    });
+  // Forced sifting passes race the clients (reorder spans come from the
+  // exclusive point while op spans stream from the shared one)...
+  std::thread Reorderer([&M, &Running] {
+    do {
+      M.reorder();
+      std::this_thread::yield();
+    } while (Running.load() != 0);
+  });
+  // ...and tracing toggles while everyone emits, so the fast path flips
+  // between the buffering, subscriber-only, and begin/finish states.
+  std::thread Toggler([&T, &Running] {
+    bool On = false;
+    do {
+      T.setTracing(On = !On);
+      std::this_thread::yield();
+    } while (Running.load() != 0);
+    T.setTracing(true);
+  });
+  for (std::thread &Client : Threads)
+    Client.join();
+  Reorderer.join();
+  Toggler.join();
+  T.setTracing(false);
+  T.unsubscribe(&Sub);
+
+  // The computation survived being observed.
+  for (unsigned C = 0; C != Clients; ++C)
+    verifyAll(M, V, Results[C]);
+
+  // The subscriber saw every span, including reorder passes.
+  EXPECT_GT(Sub.Spans.load(), 0u);
+  EXPECT_GT(M.reorderStats().Runs, 0u);
+
+  // Whatever subset got buffered forms a parseable Chrome trace.
+  JsonValue Doc;
+  std::string Error;
+  ASSERT_TRUE(parseJson(T.chromeTraceJson(), Doc, Error)) << Error;
+  const JsonValue *Events = Doc.get("traceEvents");
+  ASSERT_NE(Events, nullptr);
+  EXPECT_EQ(Events->Arr.size(), T.spanCount());
+  T.clear();
+}
+
+} // namespace

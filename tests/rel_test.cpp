@@ -332,24 +332,29 @@ TEST_F(RelTest, ToStringShowsHeaderAndRows) {
 
 TEST_F(RelTest, ProfilerRecordsOperations) {
   prof::Profiler Prof;
-  U.setProfiler(&Prof);
+  Prof.attach();
   Relation A = U.empty({{Src, P0}, {Dst, P1}});
   A.insert({1, 2});
   Relation B = U.empty({{Src, P0}, {Dst, P1}});
   B.insert({3, 4});
-  Relation C = (A | B).project({Dst}, "test-site");
+  Relation C = (A | B).project({Dst}, JEDD_SITE("test-site"));
   (void)C;
-  U.setProfiler(nullptr);
+  Prof.detach();
 
   bool SawUnion = false, SawProject = false;
   for (const auto &R : Prof.records()) {
     SawUnion |= R.OpKind == "union";
-    SawProject |= R.OpKind == "project" && R.Site == "test-site";
+    if (R.OpKind == "project" && R.Site.Label == "test-site") {
+      SawProject = true;
+      EXPECT_NE(R.Site.File.find("rel_test.cpp"), std::string::npos);
+      EXPECT_GT(R.Site.Line, 0u);
+    }
   }
   EXPECT_TRUE(SawUnion);
   EXPECT_TRUE(SawProject);
   std::string Html = Prof.renderHtml();
   EXPECT_NE(Html.find("test-site"), std::string::npos);
+  EXPECT_NE(Html.find("rel_test.cpp"), std::string::npos);
   EXPECT_NE(Html.find("<svg"), std::string::npos);
 }
 

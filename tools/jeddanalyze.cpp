@@ -8,16 +8,18 @@
 /// \file
 /// Runs the five whole-program analyses over a facts file (see
 /// soot/FactsIO.h) or a generated benchmark, printing result sizes and
-/// optionally the browsable profile.
+/// optionally the browsable profile and observability artifacts.
 ///
 ///   jeddanalyze --facts FILE        analyze a facts file
 ///   jeddanalyze --benchmark NAME    analyze a generated benchmark
 ///   jeddanalyze --generate NAME -o FILE   write a benchmark's facts
-///   ... [--profile FILE.html] [--sequential]
+///   ... [--profile FILE.html] [--trace FILE.json] [--metrics FILE.json]
+///   ... [--sequential]
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyses.h"
+#include "obs/Obs.h"
 #include "profiler/Profiler.h"
 #include "soot/FactsIO.h"
 #include "soot/Generator.h"
@@ -34,7 +36,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s (--facts FILE | --benchmark NAME | "
                "--generate NAME -o FILE)\n"
-               "          [--profile FILE.html] [--sequential]\n",
+               "          [--profile FILE.html] [--trace FILE.json]\n"
+               "          [--metrics FILE.json] [--sequential]\n",
                Argv0);
   return 2;
 }
@@ -43,6 +46,7 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   std::string FactsPath, Benchmark, GenerateName, OutputPath, ProfilePath;
+  std::string TracePath, MetricsPath;
   bdd::BitOrder Order = bdd::BitOrder::Interleaved;
 
   for (int I = 1; I < argc; ++I) {
@@ -57,6 +61,10 @@ int main(int argc, char **argv) {
       OutputPath = argv[++I];
     else if (Arg == "--profile" && I + 1 < argc)
       ProfilePath = argv[++I];
+    else if (Arg == "--trace" && I + 1 < argc)
+      TracePath = argv[++I];
+    else if (Arg == "--metrics" && I + 1 < argc)
+      MetricsPath = argv[++I];
     else if (Arg == "--sequential")
       Order = bdd::BitOrder::Sequential;
     else
@@ -97,10 +105,14 @@ int main(int argc, char **argv) {
     return usage(argv[0]);
   }
 
+  obs::Tracer &Tracer = obs::Tracer::instance();
+  if (!TracePath.empty() || !MetricsPath.empty())
+    Tracer.setTracing(true);
+
   analysis::AnalysisUniverse AU(Prog, Order);
   prof::Profiler Profiler;
   if (!ProfilePath.empty())
-    AU.U.setProfiler(&Profiler);
+    Profiler.attach();
 
   analysis::WholeProgramAnalysis WPA(AU);
   WPA.run();
@@ -118,13 +130,30 @@ int main(int argc, char **argv) {
   std::printf("transitive reads:   %.0f\n", WPA.SEA->TotalRead.size());
 
   if (!ProfilePath.empty()) {
-    AU.U.setProfiler(nullptr);
+    Profiler.observe(AU.U.manager().stats());
+    Profiler.detach();
     if (!Profiler.writeHtml(ProfilePath)) {
       std::fprintf(stderr, "error: cannot write %s\n", ProfilePath.c_str());
       return 1;
     }
     std::printf("profile:            %s (%zu operations)\n",
                 ProfilePath.c_str(), Profiler.records().size());
+  }
+  if (!TracePath.empty()) {
+    if (!Tracer.writeChromeTrace(TracePath)) {
+      std::fprintf(stderr, "error: cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+    std::printf("trace:              %s (%zu spans)\n", TracePath.c_str(),
+                Tracer.spanCount());
+  }
+  if (!MetricsPath.empty()) {
+    std::string Name = !Benchmark.empty() ? Benchmark : FactsPath;
+    if (!Tracer.writeMetrics(MetricsPath, Name)) {
+      std::fprintf(stderr, "error: cannot write %s\n", MetricsPath.c_str());
+      return 1;
+    }
+    std::printf("metrics:            %s\n", MetricsPath.c_str());
   }
   return 0;
 }

@@ -18,6 +18,8 @@
 ///     --stats        print the Table 1 statistics of the assignment
 ///     --dimacs FILE  dump the SAT encoding in DIMACS cnf format
 ///     --namespace N  namespace for the generated code
+///     --trace FILE   write a Chrome trace of the compile (SAT spans)
+///     --metrics FILE write an aggregated metrics snapshot
 ///
 /// Multiple inputs are concatenated (shared declarations first), the way
 /// the Table 1 "All 5 combined" row is built.
@@ -26,6 +28,7 @@
 
 #include "jedd/CppEmit.h"
 #include "jedd/Driver.h"
+#include "obs/Obs.h"
 #include "sat/Cnf.h"
 #include "util/File.h"
 
@@ -46,7 +49,9 @@ int usage(const char *Argv0) {
                "  --emit         print generated C++ to stdout\n"
                "  --stats        print assignment problem statistics\n"
                "  --dimacs FILE  dump the SAT encoding as DIMACS cnf\n"
-               "  --namespace N  namespace for generated code\n",
+               "  --namespace N  namespace for generated code\n"
+               "  --trace FILE   write a Chrome trace of the compile\n"
+               "  --metrics FILE write an aggregated metrics snapshot\n",
                Argv0);
   return 2;
 }
@@ -56,6 +61,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   std::vector<std::string> Inputs;
   std::string OutputPath, DimacsPath, Namespace = "jedd_generated";
+  std::string TracePath, MetricsPath;
   bool Emit = false, Stats = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -70,6 +76,10 @@ int main(int argc, char **argv) {
       DimacsPath = argv[++I];
     } else if (Arg == "--namespace" && I + 1 < argc) {
       Namespace = argv[++I];
+    } else if (Arg == "--trace" && I + 1 < argc) {
+      TracePath = argv[++I];
+    } else if (Arg == "--metrics" && I + 1 < argc) {
+      MetricsPath = argv[++I];
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                    Arg.c_str());
@@ -92,6 +102,10 @@ int main(int argc, char **argv) {
     Source += Text;
     Source += '\n';
   }
+
+  obs::Tracer &Tracer = obs::Tracer::instance();
+  if (!TracePath.empty() || !MetricsPath.empty())
+    Tracer.setTracing(true);
 
   DiagnosticEngine Diags(Inputs.size() == 1 ? Inputs[0] : "<combined>");
   auto Compiled = compileJedd(Source, Diags);
@@ -137,6 +151,18 @@ int main(int argc, char **argv) {
     }
     if (Emit)
       std::fputs(Cpp.c_str(), stdout);
+  }
+
+  if (!TracePath.empty() && !Tracer.writeChromeTrace(TracePath)) {
+    std::fprintf(stderr, "%s: error: cannot write %s\n", argv[0],
+                 TracePath.c_str());
+    return 1;
+  }
+  if (!MetricsPath.empty() &&
+      !Tracer.writeMetrics(MetricsPath, "jeddc")) {
+    std::fprintf(stderr, "%s: error: cannot write %s\n", argv[0],
+                 MetricsPath.c_str());
+    return 1;
   }
   return 0;
 }

@@ -28,7 +28,7 @@ run_thread() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
         --target bdd_parallel_test bdd_reorder_stress_test \
-                 bdd_differential_test
+                 obs_stress_test bdd_differential_test
   (cd "$ROOT/build-tsan" && ctest --output-on-failure -L stress)
   TSAN_OPTIONS="halt_on_error=1" \
       "$ROOT/build-tsan/tests/bdd_differential_test"

@@ -28,6 +28,7 @@
 
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 namespace jedd {
@@ -64,6 +65,9 @@ public:
 class Hierarchy {
 public:
   explicit Hierarchy(AnalysisUniverse &AU);
+  /// Warm-start from checkpointed relations (analysis/Checkpoint.h).
+  Hierarchy(rel::Relation Extend, rel::Relation Subtype)
+      : Extend(std::move(Extend)), Subtype(std::move(Subtype)) {}
 
   rel::Relation Extend;  ///< <Sub, Sup>: immediate superclass.
   rel::Relation Subtype; ///< <Sub, Sup>: reflexive-transitive.
@@ -74,6 +78,10 @@ public:
 class VirtualCallResolver {
 public:
   VirtualCallResolver(AnalysisUniverse &AU, const Hierarchy &H);
+  /// Warm-start from a checkpointed declaring-class relation.
+  VirtualCallResolver(AnalysisUniverse &AU, const Hierarchy &H,
+                      rel::Relation DeclaresMethod)
+      : DeclaresMethod(std::move(DeclaresMethod)), AU(AU), H(H) {}
 
   /// Declaring-class relation <Typ, Sig, Mth>.
   rel::Relation DeclaresMethod;
@@ -91,6 +99,17 @@ private:
 class PointsToAnalysis {
 public:
   explicit PointsToAnalysis(AnalysisUniverse &AU);
+
+  /// Warm-start from checkpointed solution + fact relations (ordered as
+  /// the members below). The instance is at its fixpoint: solve() would
+  /// report no change.
+  PointsToAnalysis(AnalysisUniverse &AU, rel::Relation Pt,
+                   rel::Relation FieldPt, rel::Relation AllocR,
+                   rel::Relation AssignR, rel::Relation LoadR,
+                   rel::Relation StoreR)
+      : Pt(std::move(Pt)), FieldPt(std::move(FieldPt)),
+        AllocR(std::move(AllocR)), AssignR(std::move(AssignR)),
+        LoadR(std::move(LoadR)), StoreR(std::move(StoreR)), AU(AU) {}
 
   /// Adds the pointer statements of one method to the fact relations.
   void addMethodFacts(soot::Id Method);
@@ -120,6 +139,19 @@ class CallGraphBuilder {
 public:
   CallGraphBuilder(AnalysisUniverse &AU, Hierarchy &H,
                    VirtualCallResolver &VCR, PointsToAnalysis &PTA);
+
+  /// Warm-start from checkpointed relations plus the reachable-method
+  /// set. The instance is at its fixpoint; run() must not be called on
+  /// it (the per-edge bookkeeping that makes run() incremental is not
+  /// persisted).
+  CallGraphBuilder(AnalysisUniverse &AU, Hierarchy &H,
+                   VirtualCallResolver &VCR, PointsToAnalysis &PTA,
+                   rel::Relation SiteType, rel::Relation CallRecvSig,
+                   rel::Relation CallerOf, rel::Relation Cg,
+                   std::set<soot::Id> ReachableMethods)
+      : SiteType(std::move(SiteType)), CallRecvSig(std::move(CallRecvSig)),
+        CallerOf(std::move(CallerOf)), Cg(std::move(Cg)), AU(AU), H(H),
+        VCR(VCR), PTA(PTA), Reachable(std::move(ReachableMethods)) {}
 
   /// Runs from the program's entry method to a joint fixpoint.
   void run();
@@ -152,6 +184,13 @@ class SideEffectAnalysis {
 public:
   SideEffectAnalysis(AnalysisUniverse &AU, const PointsToAnalysis &PTA,
                      const CallGraphBuilder &CGB);
+  /// Warm-start from checkpointed relations (ordered as the members).
+  SideEffectAnalysis(rel::Relation VarMethod, rel::Relation DirectRead,
+                     rel::Relation DirectWrite, rel::Relation TotalRead,
+                     rel::Relation TotalWrite)
+      : VarMethod(std::move(VarMethod)), DirectRead(std::move(DirectRead)),
+        DirectWrite(std::move(DirectWrite)), TotalRead(std::move(TotalRead)),
+        TotalWrite(std::move(TotalWrite)) {}
 
   rel::Relation VarMethod;   ///< <Src, Mth>: declaring method.
   rel::Relation DirectRead;  ///< <Mth, BaseObj, Fld>.

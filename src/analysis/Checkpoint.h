@@ -1,0 +1,94 @@
+//===- Checkpoint.h - Warm-startable analysis pipeline ----------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkpoint/warm-start pipeline over the five analyses of
+/// Analyses.h (docs/persistence.md). With a checkpoint directory set,
+/// each stage's result relations are saved as one JDD1 checkpoint image
+/// after being computed, tagged with a hash of the program facts; a rerun
+/// over the same facts loads the saved relations instead of recomputing —
+/// stage by stage, warm-starting the longest prefix whose checkpoints are
+/// present, well-formed, and fact-hash current. A stale or missing stage
+/// (and everything after it, since stages feed forward) is recomputed and
+/// its checkpoint rewritten.
+///
+/// With an empty directory the pipeline is exactly WholeProgramAnalysis:
+/// no files touched, no io spans emitted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_ANALYSIS_CHECKPOINT_H
+#define JEDDPP_ANALYSIS_CHECKPOINT_H
+
+#include "analysis/Analyses.h"
+#include "io/Io.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jedd {
+namespace analysis {
+
+/// The four checkpointable stages, in dependency order. Points-to and
+/// call graph form one joint fixpoint (they alternate until both
+/// stabilize) and therefore checkpoint as one stage.
+///
+///   hierarchy -> vcr -> callgraph (incl. points-to) -> sideeffects
+class CheckpointedAnalysis {
+public:
+  /// \p Dir is the checkpoint directory ("" disables persistence; it is
+  /// created if missing).
+  CheckpointedAnalysis(AnalysisUniverse &AU, std::string Dir);
+
+  /// Runs all stages, loading each from its checkpoint when current and
+  /// computing + saving it otherwise.
+  void run();
+
+  /// What happened to one stage during run().
+  struct StageStatus {
+    std::string Name;
+    bool WarmStarted = false; ///< Loaded from its checkpoint.
+    bool Saved = false;       ///< Computed and written this run.
+    std::string Note;         ///< Why a load was not used ("" when warm).
+  };
+  const std::vector<StageStatus> &stages() const { return Stages; }
+
+  /// FNV-1a hash of the program facts — the context hash every stage
+  /// checkpoint is tagged with.
+  uint64_t factsHash() const;
+
+  AnalysisUniverse &AU;
+  std::unique_ptr<Hierarchy> H;
+  std::unique_ptr<VirtualCallResolver> VCR;
+  std::unique_ptr<PointsToAnalysis> PTA;
+  std::unique_ptr<CallGraphBuilder> CGB;
+  std::unique_ptr<SideEffectAnalysis> SEA;
+
+private:
+  std::string Dir;
+  std::vector<StageStatus> Stages;
+
+  std::string stagePath(const std::string &Stage) const;
+  /// Loads one stage's checkpoint, checking the context hash and that
+  /// the image carries exactly the expected relation names in order.
+  /// Returns false (with the reason in \p Note) when the stage must be
+  /// computed instead.
+  bool tryLoad(const std::string &Stage, uint64_t Hash,
+               const std::vector<std::string> &Expected,
+               std::vector<io::NamedRelation> &Out, std::string &Note);
+  /// Saves one stage's checkpoint; failures are recorded in the stage
+  /// note (a run never fails because a checkpoint cannot be written).
+  bool saveStage(const std::string &Stage, uint64_t Hash,
+                 const std::vector<io::NamedRelation> &Relations,
+                 std::string &Note);
+};
+
+} // namespace analysis
+} // namespace jedd
+
+#endif // JEDDPP_ANALYSIS_CHECKPOINT_H

@@ -323,6 +323,18 @@ public:
   /// by differential tests against truth tables.
   bool evalAssignment(const Bdd &F, const std::vector<bool> &Assignment) const;
 
+  /// Visits every internal node of F exactly once in a deterministic
+  /// post-order (low subtree, then high subtree, then the node), so each
+  /// node's children have been visited before the node itself. The
+  /// callback receives the node, its client variable, and its child refs
+  /// (which may be the terminals FalseRef/TrueRef). This is the walk the
+  /// persistence layer (src/io) serializes the shared-node DAG with: the
+  /// visit order is a topological order of the DAG, and it depends only
+  /// on the BDD's structure, never on the manager's memory layout.
+  void traverse(const Bdd &F,
+                const std::function<void(NodeRef Node, unsigned Var,
+                                         NodeRef Low, NodeRef High)> &Fn);
+
   /// Graphviz dump for debugging.
   std::string toDot(const Bdd &F);
 

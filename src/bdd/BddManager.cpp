@@ -1207,6 +1207,42 @@ size_t Manager::nodeCount(const Bdd &F) {
   return Count;
 }
 
+void Manager::traverse(
+    const Bdd &F, const std::function<void(NodeRef Node, unsigned Var,
+                                           NodeRef Low, NodeRef High)> &Fn) {
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
+  if (isTerminal(F.ref()))
+    return;
+  uint32_t Stamp = newStamp();
+  // Explicit post-order: each stack entry is (node, children-expanded).
+  // Nodes are stamped when *emitted*, not when pushed — a node may sit on
+  // the stack more than once (once per referencing parent seen before it
+  // was emitted), but only the first pop-after-expansion emits it, and by
+  // then both children have been emitted. That makes the emission order a
+  // topological order of the shared DAG.
+  std::vector<std::pair<NodeRef, bool>> Stack = {{F.ref(), false}};
+  while (!Stack.empty()) {
+    NodeRef N = Stack.back().first;
+    if (Stamps[N] == Stamp) {
+      Stack.pop_back();
+      continue;
+    }
+    if (Stack.back().second) {
+      Stack.pop_back();
+      Stamps[N] = Stamp;
+      Fn(N, Nodes[N].Var, Nodes[N].Low, Nodes[N].High);
+      continue;
+    }
+    Stack.back().second = true;
+    // Push high first so low is visited first (deterministic order).
+    for (NodeRef Child : {Nodes[N].High, Nodes[N].Low})
+      if (!isTerminal(Child) && Stamps[Child] != Stamp)
+        Stack.push_back({Child, false});
+  }
+}
+
 std::vector<size_t> Manager::levelShape(const Bdd &F) {
   std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
   if (ParMode)

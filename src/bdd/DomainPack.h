@@ -68,6 +68,7 @@ public:
     return *Mgr;
   }
 
+  BitOrder order() const { return Order; }
   unsigned numDomains() const { return static_cast<unsigned>(Doms.size()); }
   const std::string &name(PhysDomId Dom) const { return Doms[Dom].Name; }
   unsigned bits(PhysDomId Dom) const { return Doms[Dom].Bits; }

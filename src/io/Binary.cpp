@@ -1,0 +1,34 @@
+//===- Binary.cpp - Byte-level encoding for the persistence layer ----------===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+
+#include "io/Binary.h"
+
+#include <array>
+
+namespace {
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I != 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K != 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+} // namespace
+
+uint32_t jedd::io::crc32(const void *Data, size_t Size) {
+  static const std::array<uint32_t, 256> Table = makeCrcTable();
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  uint32_t C = 0xFFFFFFFFu;
+  for (size_t I = 0; I != Size; ++I)
+    C = Table[(C ^ Bytes[I]) & 0xFF] ^ (C >> 8);
+  return C ^ 0xFFFFFFFFu;
+}

@@ -1,0 +1,162 @@
+//===- Binary.h - Byte-level encoding for the persistence layer -*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-level primitives of the JDD1 image format (docs/persistence.md):
+/// LEB128 varints, length-prefixed strings, little-endian fixed words, and
+/// the CRC32 every section is protected by. The reader is written for
+/// hostile input — every primitive bounds-checks and reports truncation
+/// instead of reading past the buffer, and length fields are validated
+/// against the bytes that remain before any allocation is sized by them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_IO_BINARY_H
+#define JEDDPP_IO_BINARY_H
+
+#include <cstdint>
+#include <string>
+
+namespace jedd {
+namespace io {
+
+/// CRC32 (IEEE 802.3 polynomial, the zlib convention) of \p Size bytes.
+uint32_t crc32(const void *Data, size_t Size);
+
+/// Append-only encoder over a byte string.
+class ByteWriter {
+public:
+  explicit ByteWriter(std::string &Out) : Out(Out) {}
+
+  void u8(uint8_t Value) { Out.push_back(static_cast<char>(Value)); }
+
+  void u32le(uint32_t Value) {
+    for (int I = 0; I != 4; ++I)
+      u8(static_cast<uint8_t>(Value >> (8 * I)));
+  }
+
+  void u64le(uint64_t Value) {
+    for (int I = 0; I != 8; ++I)
+      u8(static_cast<uint8_t>(Value >> (8 * I)));
+  }
+
+  /// Unsigned LEB128.
+  void varint(uint64_t Value) {
+    while (Value >= 0x80) {
+      u8(static_cast<uint8_t>(Value) | 0x80);
+      Value >>= 7;
+    }
+    u8(static_cast<uint8_t>(Value));
+  }
+
+  /// Length-prefixed string (varint length + raw bytes).
+  void str(const std::string &Value) {
+    varint(Value.size());
+    Out.append(Value);
+  }
+
+  size_t size() const { return Out.size(); }
+
+private:
+  std::string &Out;
+};
+
+/// Bounds-checked decoder over a byte range. All reads return false on
+/// truncation or malformed encodings and never advance past End.
+class ByteReader {
+public:
+  ByteReader(const char *Data, size_t Size) : Data(Data), End(Size) {}
+  explicit ByteReader(const std::string &Bytes)
+      : ByteReader(Bytes.data(), Bytes.size()) {}
+
+  size_t pos() const { return Pos; }
+  size_t remaining() const { return End - Pos; }
+  bool atEnd() const { return Pos == End; }
+
+  bool u8(uint8_t &Value) {
+    if (Pos == End)
+      return false;
+    Value = static_cast<uint8_t>(Data[Pos++]);
+    return true;
+  }
+
+  bool u32le(uint32_t &Value) {
+    if (remaining() < 4)
+      return false;
+    Value = 0;
+    for (int I = 0; I != 4; ++I)
+      Value |= static_cast<uint32_t>(static_cast<uint8_t>(Data[Pos++]))
+               << (8 * I);
+    return true;
+  }
+
+  bool u64le(uint64_t &Value) {
+    if (remaining() < 8)
+      return false;
+    Value = 0;
+    for (int I = 0; I != 8; ++I)
+      Value |= static_cast<uint64_t>(static_cast<uint8_t>(Data[Pos++]))
+               << (8 * I);
+    return true;
+  }
+
+  /// Unsigned LEB128; rejects encodings above 64 bits.
+  bool varint(uint64_t &Value) {
+    Value = 0;
+    for (unsigned Shift = 0; Shift < 64; Shift += 7) {
+      uint8_t Byte;
+      if (!u8(Byte))
+        return false;
+      Value |= static_cast<uint64_t>(Byte & 0x7F) << Shift;
+      if (!(Byte & 0x80)) {
+        // The final byte must not overflow 64 bits.
+        if (Shift == 63 && (Byte & 0x7E))
+          return false;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Varint that must fit the remaining bytes when interpreted as a count
+  /// of items of at least \p MinItemBytes bytes each — the guard that
+  /// keeps hostile counts from sizing huge allocations.
+  bool count(uint64_t &Value, size_t MinItemBytes) {
+    if (!varint(Value))
+      return false;
+    return MinItemBytes == 0 || Value <= remaining() / MinItemBytes;
+  }
+
+  /// Length-prefixed string; the length must fit the remaining bytes.
+  bool str(std::string &Value) {
+    uint64_t Len;
+    if (!varint(Len) || Len > remaining())
+      return false;
+    Value.assign(Data + Pos, static_cast<size_t>(Len));
+    Pos += static_cast<size_t>(Len);
+    return true;
+  }
+
+  /// Borrows the next \p Size raw bytes.
+  bool bytes(const char *&Out, size_t Size) {
+    if (Size > remaining())
+      return false;
+    Out = Data + Pos;
+    Pos += Size;
+    return true;
+  }
+
+private:
+  const char *Data;
+  size_t End;
+  size_t Pos = 0;
+};
+
+} // namespace io
+} // namespace jedd
+
+#endif // JEDDPP_IO_BINARY_H

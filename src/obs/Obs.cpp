@@ -33,6 +33,8 @@ const char *catName(Cat C) {
     return "reorder";
   case Cat::Sat:
     return "sat";
+  case Cat::Io:
+    return "io";
   }
   return "?";
 }

@@ -49,7 +49,7 @@ namespace obs {
 
 /// Event categories; the Chrome-trace "cat" field and the prefix of the
 /// aggregated metrics key ("rel.join", "bdd.and", "gc.collect", ...).
-enum class Cat : uint8_t { Rel, Bdd, Gc, Reorder, Sat };
+enum class Cat : uint8_t { Rel, Bdd, Gc, Reorder, Sat, Io };
 
 const char *catName(Cat C);
 

@@ -473,10 +473,26 @@ void Relation::iterate(
   JEDD_CHECK(U, "operation on an invalid relation");
   std::vector<PhysDomId> Phys = schemaPhysDoms();
   std::vector<unsigned> Vars = U->pack().sortedVars(Phys);
+  // Precompute where each column's bits (MSB first) sit in the
+  // enumeration vector. enumerate() runs the callback under the
+  // manager's exclusive lock in parallel mode, so the callback must not
+  // call back into the manager — which DomainPack::decodeValue would,
+  // through levelOfVar().
+  std::vector<std::vector<size_t>> BitIndex(Schema.size());
+  for (size_t I = 0; I != Schema.size(); ++I)
+    for (unsigned V : U->pack().vars(Schema[I].Phys)) {
+      auto It = std::find(Vars.begin(), Vars.end(), V);
+      assert(It != Vars.end() && "schema domain not in the enumerated set");
+      BitIndex[I].push_back(static_cast<size_t>(It - Vars.begin()));
+    }
   std::vector<uint64_t> Tuple(Schema.size());
   U->manager().enumerate(Body, Vars, [&](const std::vector<bool> &Bits) {
-    for (size_t I = 0; I != Schema.size(); ++I)
-      Tuple[I] = U->pack().decodeValue(Schema[I].Phys, Phys, Bits);
+    for (size_t I = 0; I != Schema.size(); ++I) {
+      uint64_t Value = 0;
+      for (size_t Index : BitIndex[I])
+        Value = (Value << 1) | (Bits[Index] ? 1 : 0);
+      Tuple[I] = Value;
+    }
     return Fn(Tuple);
   });
 }

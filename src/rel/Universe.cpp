@@ -170,6 +170,14 @@ Relation Universe::empty(std::vector<AttrBinding> Schema) {
                   manager().falseBdd());
 }
 
+Relation Universe::fromBody(std::vector<AttrBinding> Schema, bdd::Bdd Body) {
+  JEDD_CHECK(isFinalized(), "finalize() must precede relation creation");
+  JEDD_CHECK(Body.isValid() && Body.manager() == &manager(),
+             "fromBody: body must belong to this universe's manager");
+  return Relation(this, normalizeSchema(*this, std::move(Schema)),
+                  std::move(Body));
+}
+
 Relation Universe::full(std::vector<AttrBinding> Schema) {
   JEDD_CHECK(isFinalized(), "finalize() must precede relation creation");
   std::vector<AttrBinding> Normal = normalizeSchema(*this, std::move(Schema));

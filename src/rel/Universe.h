@@ -149,6 +149,13 @@ public:
   Relation tuple(std::vector<AttrBinding> Schema,
                  const std::vector<uint64_t> &Values);
 
+  /// Wraps an already-built BDD body in a relation over \p Schema (which
+  /// is normalized and checked like every factory's). The body must be a
+  /// function of the schema's physical-domain variables only — this is
+  /// the entry point the persistence layer (src/io) rebuilds loaded
+  /// relations through.
+  Relation fromBody(std::vector<AttrBinding> Schema, bdd::Bdd Body);
+
   /// Picks a physical domain for \p Attr that is wide enough and not in
   /// \p Used; fatal error if none exists. Deterministic (first declared
   /// wins) so runs are reproducible.

@@ -8,6 +8,8 @@
 #include "soot/FactsIO.h"
 #include "util/StringUtils.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 
@@ -106,9 +108,18 @@ bool parseId(const std::string &Text, Id &Out) {
     Out = NoId;
     return true;
   }
+  // strtoul alone is too forgiving: it accepts a sign ("-1" wraps to
+  // ULONG_MAX) and saturates instead of reporting 64-bit overflow, and
+  // the cast below would then truncate silently. Only plain decimal
+  // digits that fit below NoId are valid ids.
+  if (Text.empty() || !std::isdigit(static_cast<unsigned char>(Text[0])))
+    return false;
+  errno = 0;
   char *End = nullptr;
   unsigned long Value = std::strtoul(Text.c_str(), &End, 10);
   if (End == Text.c_str() || *End != '\0')
+    return false;
+  if (errno == ERANGE || Value >= NoId)
     return false;
   Out = static_cast<Id>(Value);
   return true;
@@ -167,12 +178,20 @@ bool jedd::soot::parseFacts(const std::string &Text, Program &Prog,
           return Fail("unknown superclass '" + SuperName + "'");
         Super = It->second;
       }
+      if (KlassByName.count(Name))
+        return Fail("duplicate class '" + Name + "'");
       KlassByName[Name] = static_cast<Id>(Prog.Klasses.size());
       Prog.Klasses.push_back({Name, Super});
     } else if (Kind == "sig") {
-      Prog.Sigs.push_back({P.next()});
+      std::string Name = P.next();
+      if (Name.empty())
+        return Fail("sig without a name");
+      Prog.Sigs.push_back({std::move(Name)});
     } else if (Kind == "field") {
-      Prog.Fields.push_back(P.next());
+      std::string Name = P.next();
+      if (Name.empty())
+        return Fail("field without a name");
+      Prog.Fields.push_back(std::move(Name));
     } else if (Kind == "method") {
       Method M;
       Id Klass, Sig;
@@ -246,6 +265,8 @@ bool jedd::soot::parseFacts(const std::string &Text, Program &Prog,
     } else {
       return Fail("unknown fact kind '" + Kind + "'");
     }
+    if (!P.done())
+      return Fail("unexpected trailing tokens");
   }
 
   std::string ValidationError;

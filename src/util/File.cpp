@@ -8,6 +8,9 @@
 #include "util/File.h"
 
 #include <cstdio>
+#include <cerrno>
+#include <sys/stat.h>
+#include <sys/types.h>
 
 bool jedd::readFileToString(const std::string &Path, std::string &Out) {
   std::FILE *File = std::fopen(Path.c_str(), "rb");
@@ -25,10 +28,28 @@ bool jedd::readFileToString(const std::string &Path, std::string &Out) {
 
 bool jedd::writeStringToFile(const std::string &Path,
                              const std::string &Text) {
-  std::FILE *File = std::fopen(Path.c_str(), "w");
+  std::FILE *File = std::fopen(Path.c_str(), "wb");
   if (!File)
     return false;
   size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
   std::fclose(File);
   return Written == Text.size();
+}
+
+bool jedd::ensureDirectory(const std::string &Path) {
+  if (Path.empty())
+    return false;
+  // Create each prefix in turn so nested paths work without any parent
+  // existing beforehand.
+  for (size_t I = 1; I <= Path.size(); ++I) {
+    if (I != Path.size() && Path[I] != '/')
+      continue;
+    std::string Prefix = Path.substr(0, I);
+    if (Prefix.empty() || Prefix == "/")
+      continue;
+    if (::mkdir(Prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return false;
+  }
+  struct stat St;
+  return ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode);
 }

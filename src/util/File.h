@@ -15,8 +15,13 @@ namespace jedd {
 /// Reads a whole file; returns false on I/O failure.
 bool readFileToString(const std::string &Path, std::string &Out);
 
-/// Writes \p Text to \p Path; returns false on I/O failure.
+/// Writes \p Text to \p Path (binary mode — bytes are written verbatim);
+/// returns false on I/O failure.
 bool writeStringToFile(const std::string &Path, const std::string &Text);
+
+/// Creates directory \p Path (and missing parents) if it does not exist;
+/// returns false when it cannot be created or exists as a non-directory.
+bool ensureDirectory(const std::string &Path);
 
 } // namespace jedd
 

@@ -8,6 +8,7 @@
 #include "util/Json.h"
 
 #include <cctype>
+#include <cmath>
 #include <cstdlib>
 
 using namespace jedd;
@@ -42,6 +43,12 @@ private:
   const std::string &Text;
   std::string &Error;
   size_t Pos = 0;
+  size_t Depth = 0;
+
+  /// Nesting bound: hostile inputs like "[[[[..." must fail with a
+  /// diagnostic instead of exhausting the call stack (the recursive
+  /// descent uses a stack frame per level).
+  static constexpr size_t MaxDepth = 256;
 
   bool fail(const char *Message) {
     Error = std::string(Message) + " at offset " + std::to_string(Pos);
@@ -91,10 +98,13 @@ private:
 
   bool parseObject(JsonValue &Out) {
     Out.K = JsonValue::Kind::Object;
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
     ++Pos; // '{'
     skipWs();
     if (Pos != Text.size() && Text[Pos] == '}') {
       ++Pos;
+      --Depth;
       return true;
     }
     while (true) {
@@ -120,6 +130,7 @@ private:
       }
       if (Text[Pos] == '}') {
         ++Pos;
+        --Depth;
         return true;
       }
       return fail("expected ',' or '}'");
@@ -128,10 +139,13 @@ private:
 
   bool parseArray(JsonValue &Out) {
     Out.K = JsonValue::Kind::Array;
+    if (++Depth > MaxDepth)
+      return fail("nesting too deep");
     ++Pos; // '['
     skipWs();
     if (Pos != Text.size() && Text[Pos] == ']') {
       ++Pos;
+      --Depth;
       return true;
     }
     while (true) {
@@ -149,6 +163,7 @@ private:
       }
       if (Text[Pos] == ']') {
         ++Pos;
+        --Depth;
         return true;
       }
       return fail("expected ',' or ']'");
@@ -248,6 +263,10 @@ private:
     Out.Num = std::strtod(Num.c_str(), &End);
     if (End != Num.c_str() + Num.size())
       return fail("invalid number");
+    // strtod parses "-nan" and overflows "1e999" to infinity; JSON has
+    // no non-finite numbers, so both are malformed input here.
+    if (!std::isfinite(Out.Num))
+      return fail("number out of range");
     return true;
   }
 };

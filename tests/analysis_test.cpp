@@ -14,9 +14,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyses.h"
+#include "analysis/Checkpoint.h"
+#include "obs/Obs.h"
 #include "soot/Generator.h"
+#include "util/Json.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdio>
 
 using namespace jedd;
 using namespace jedd::analysis;
@@ -322,6 +327,153 @@ TEST(BitOrderAblation, ResultsAgreeAcrossOrders) {
     Results.push_back(PTA.Pt.tuples());
   }
   EXPECT_EQ(Results[0], Results[1]);
+}
+
+//===----------------------------------------------------------------------===//
+// Checkpoint / warm-start pipeline
+//===----------------------------------------------------------------------===//
+
+/// Clears the four stage files so a test's cold run is actually cold
+/// even when a previous test execution left checkpoints behind.
+void wipeCheckpointDir(const std::string &Dir) {
+  for (const char *Stage :
+       {"hierarchy", "vcr", "callgraph", "sideeffects"})
+    std::remove((Dir + "/" + Stage + ".jdd").c_str());
+}
+
+TEST(Checkpoint, WarmStartReproducesResultsWithoutRelationalWork) {
+  soot::GeneratorParams Params;
+  Params.NumClasses = 10;
+  Params.Seed = 21;
+  Program P = soot::generateProgram(Params);
+  std::string Dir = ::testing::TempDir() + "jeddpp_ckpt_warm";
+  wipeCheckpointDir(Dir);
+
+  // Cold run: every stage computed and checkpointed.
+  bdd::SatCount PtSize, FieldPtSize, CgSize, ReadSize, WriteSize;
+  std::set<Id> Reachable;
+  {
+    AnalysisUniverse AU(P);
+    CheckpointedAnalysis Cold(AU, Dir);
+    Cold.run();
+    for (const CheckpointedAnalysis::StageStatus &St : Cold.stages()) {
+      EXPECT_FALSE(St.WarmStarted) << St.Name << ": " << St.Note;
+      EXPECT_TRUE(St.Saved) << St.Name << ": " << St.Note;
+    }
+    PtSize = Cold.PTA->Pt.sizeExact();
+    FieldPtSize = Cold.PTA->FieldPt.sizeExact();
+    CgSize = Cold.CGB->Cg.sizeExact();
+    ReadSize = Cold.SEA->TotalRead.sizeExact();
+    WriteSize = Cold.SEA->TotalWrite.sizeExact();
+    Reachable = Cold.CGB->reachableMethods();
+  }
+
+  // Warm run in a fresh universe with tracing on: every stage loads,
+  // every result is identical, and the trace holds no relational-op
+  // spans at all — the stages were genuinely skipped, not recomputed.
+  obs::Tracer &Tracer = obs::Tracer::instance();
+  Tracer.clear();
+  Tracer.setTracing(true);
+  {
+    AnalysisUniverse AU(P);
+    CheckpointedAnalysis Warm(AU, Dir);
+    Warm.run();
+    for (const CheckpointedAnalysis::StageStatus &St : Warm.stages())
+      EXPECT_TRUE(St.WarmStarted) << St.Name << ": " << St.Note;
+    EXPECT_EQ(Warm.PTA->Pt.sizeExact(), PtSize);
+    EXPECT_EQ(Warm.PTA->FieldPt.sizeExact(), FieldPtSize);
+    EXPECT_EQ(Warm.CGB->Cg.sizeExact(), CgSize);
+    EXPECT_EQ(Warm.SEA->TotalRead.sizeExact(), ReadSize);
+    EXPECT_EQ(Warm.SEA->TotalWrite.sizeExact(), WriteSize);
+    EXPECT_EQ(Warm.CGB->reachableMethods(), Reachable);
+  }
+  std::string Metrics = Tracer.metricsJson("warm_start_test");
+  Tracer.setTracing(false);
+  Tracer.clear();
+
+  JsonValue Root;
+  std::string Error;
+  ASSERT_TRUE(parseJson(Metrics, Root, Error)) << Error;
+  const JsonValue *Spans = Root.get("spans");
+  ASSERT_TRUE(Spans && Spans->isObject());
+  bool SawIoLoad = false;
+  for (const auto &[Key, Value] : Spans->Obj) {
+    EXPECT_FALSE(Key.rfind("rel.", 0) == 0)
+        << "warm start ran a relational operation: " << Key;
+    if (Key == "io.load")
+      SawIoLoad = true;
+  }
+  EXPECT_TRUE(SawIoLoad) << "warm start recorded no io.load span";
+}
+
+TEST(Checkpoint, ChangedFactsForceRecompute) {
+  soot::GeneratorParams Params;
+  Params.NumClasses = 8;
+  Params.Seed = 33;
+  Program P = soot::generateProgram(Params);
+  std::string Dir = ::testing::TempDir() + "jeddpp_ckpt_stale";
+  wipeCheckpointDir(Dir);
+
+  {
+    AnalysisUniverse AU(P);
+    CheckpointedAnalysis Cold(AU, Dir);
+    Cold.run();
+    for (const CheckpointedAnalysis::StageStatus &St : Cold.stages())
+      EXPECT_TRUE(St.Saved) << St.Name << ": " << St.Note;
+  }
+
+  // One extra assignment changes the facts hash: every checkpoint is
+  // stale and every stage must recompute (and re-checkpoint).
+  ASSERT_GE(P.NumVars, 2u);
+  soot::Id Dst = 0;
+  // Pick two variables of one method so the program stays valid.
+  for (size_t V = 1; V != P.NumVars; ++V)
+    if (P.VarMethod[V] == P.VarMethod[0]) {
+      Dst = static_cast<soot::Id>(V);
+      break;
+    }
+  ASSERT_NE(Dst, 0);
+  P.Assigns.push_back({Dst, 0});
+  std::string Error;
+  ASSERT_TRUE(P.validate(Error)) << Error;
+
+  AnalysisUniverse AU(P);
+  CheckpointedAnalysis Stale(AU, Dir);
+  Stale.run();
+  for (const CheckpointedAnalysis::StageStatus &St : Stale.stages()) {
+    EXPECT_FALSE(St.WarmStarted) << St.Name;
+    EXPECT_TRUE(St.Saved) << St.Name << ": " << St.Note;
+  }
+  // The first stage reports why its load was refused; later stages are
+  // recomputed because the prefix already missed, without re-probing.
+  ASSERT_FALSE(Stale.stages().empty());
+  EXPECT_NE(Stale.stages()[0].Note.find("facts changed"), std::string::npos);
+
+  // A rerun over the modified facts warm-starts again.
+  AnalysisUniverse AU2(P);
+  CheckpointedAnalysis Warm(AU2, Dir);
+  Warm.run();
+  for (const CheckpointedAnalysis::StageStatus &St : Warm.stages())
+    EXPECT_TRUE(St.WarmStarted) << St.Name << ": " << St.Note;
+}
+
+TEST(Checkpoint, EmptyDirectoryMatchesWholeProgramAnalysis) {
+  Program P = tinyProgram();
+  AnalysisUniverse AURef(P);
+  WholeProgramAnalysis Ref(AURef);
+  Ref.run();
+
+  AnalysisUniverse AU(P);
+  CheckpointedAnalysis C(AU, "");
+  C.run();
+  for (const CheckpointedAnalysis::StageStatus &St : C.stages()) {
+    EXPECT_FALSE(St.WarmStarted) << St.Name;
+    EXPECT_FALSE(St.Saved) << St.Name;
+  }
+  EXPECT_EQ(C.PTA->Pt.sizeExact(), Ref.PTA.Pt.sizeExact());
+  EXPECT_EQ(C.CGB->Cg.sizeExact(), Ref.CGB.Cg.sizeExact());
+  EXPECT_EQ(C.CGB->reachableMethods(), Ref.CGB.reachableMethods());
+  EXPECT_EQ(C.SEA->TotalWrite.sizeExact(), Ref.SEA->TotalWrite.sizeExact());
 }
 
 } // namespace

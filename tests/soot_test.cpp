@@ -182,4 +182,50 @@ TEST(FactsIo, ReportsMalformedInput) {
   EXPECT_NE(Error.find("validation"), std::string::npos);
 }
 
+TEST(FactsIo, RejectsOutOfRangeIds) {
+  Program P;
+  std::string Error;
+  // 2^32 truncates to 0 through a bare strtoul cast; must be an error.
+  EXPECT_FALSE(parseFacts("entry 4294967296\n", P, Error));
+  EXPECT_NE(Error.find("line 1"), std::string::npos);
+  // 2^64 overflows unsigned long itself (ERANGE).
+  EXPECT_FALSE(parseFacts("entry 18446744073709551616\n", P, Error));
+  // 4294967295 == NoId: reachable only through the "-" spelling.
+  EXPECT_FALSE(parseFacts("entry 4294967295\n", P, Error));
+  // Signed forms wrap through strtoul; both must be rejected.
+  EXPECT_FALSE(parseFacts("entry -1\n", P, Error));
+  EXPECT_FALSE(parseFacts("entry +1\n", P, Error));
+  EXPECT_FALSE(parseFacts("entry 0x10\n", P, Error));
+  EXPECT_FALSE(parseFacts(
+      "class A\nsig s\nmethod 0 0 this=- params=-1,2 ret=-\n", P, Error));
+}
+
+TEST(FactsIo, RejectsDuplicateClasses) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(parseFacts("class A\nclass A\n", P, Error));
+  EXPECT_NE(Error.find("duplicate class 'A'"), std::string::npos);
+  EXPECT_NE(Error.find("line 2"), std::string::npos);
+}
+
+TEST(FactsIo, RejectsNamelessDeclarations) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(parseFacts("sig\n", P, Error));
+  EXPECT_NE(Error.find("sig without a name"), std::string::npos);
+  EXPECT_FALSE(parseFacts("field\n", P, Error));
+  EXPECT_NE(Error.find("field without a name"), std::string::npos);
+  EXPECT_FALSE(parseFacts("class\n", P, Error));
+}
+
+TEST(FactsIo, RejectsTrailingTokens) {
+  Program P;
+  std::string Error;
+  EXPECT_FALSE(parseFacts("entry 0 extra\n", P, Error));
+  EXPECT_NE(Error.find("unexpected trailing tokens"), std::string::npos);
+  EXPECT_FALSE(parseFacts("class A junk\n", P, Error));
+  EXPECT_FALSE(parseFacts("class A\nclass B extends A junk\n", P, Error));
+  EXPECT_FALSE(parseFacts("var 0 method=0 extra=1\n", P, Error));
+}
+
 } // namespace

@@ -8,6 +8,7 @@
 #include "util/BitSet.h"
 #include "util/Diagnostic.h"
 #include "util/File.h"
+#include "util/Json.h"
 #include "util/Random.h"
 #include "util/StringUtils.h"
 
@@ -177,6 +178,65 @@ TEST(BitSet, EqualityAndRandomizedAgainstStdSet) {
   std::vector<size_t> Seen;
   S.forEach([&](size_t Bit) { Seen.push_back(Bit); });
   EXPECT_EQ(Seen, std::vector<size_t>(Ref.begin(), Ref.end()));
+}
+
+//===----------------------------------------------------------------------===//
+// JSON
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParsesBasicDocuments) {
+  JsonValue V;
+  std::string Error;
+  ASSERT_TRUE(parseJson(R"({"a": [1, 2.5, -3e2], "b": "x", "c": true,
+                            "d": null})",
+                        V, Error))
+      << Error;
+  ASSERT_NE(V.get("a"), nullptr);
+  EXPECT_EQ(V.get("a")->Arr.size(), 3u);
+  EXPECT_EQ(V.get("a")->Arr[2].Num, -300.0);
+  EXPECT_EQ(V.get("b")->Str, "x");
+  EXPECT_TRUE(V.get("c")->B);
+  EXPECT_EQ(V.get("d")->K, JsonValue::Kind::Null);
+}
+
+TEST(Json, DeepNestingFailsInsteadOfOverflowingTheStack) {
+  // An unbounded recursive descent would crash on these; the parser
+  // must stop at its depth limit with a diagnostic.
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson(std::string(100000, '['), V, Error));
+  EXPECT_NE(Error.find("nesting too deep"), std::string::npos);
+  std::string Balanced =
+      std::string(100000, '[') + "1" + std::string(100000, ']');
+  EXPECT_FALSE(parseJson(Balanced, V, Error));
+  std::string Objects;
+  for (int I = 0; I != 100000; ++I)
+    Objects += "{\"k\":";
+  EXPECT_FALSE(parseJson(Objects, V, Error));
+}
+
+TEST(Json, ReasonableNestingStillParses) {
+  JsonValue V;
+  std::string Error;
+  std::string Doc = std::string(200, '[') + "0" + std::string(200, ']');
+  ASSERT_TRUE(parseJson(Doc, V, Error)) << Error;
+  // Depth resets between documents: a second parse with the same
+  // parser budget must also succeed.
+  ASSERT_TRUE(parseJson(Doc, V, Error)) << Error;
+}
+
+TEST(Json, RejectsNonFiniteNumbers) {
+  // strtod would happily return inf/nan for these; JSON has neither.
+  JsonValue V;
+  std::string Error;
+  EXPECT_FALSE(parseJson("1e999", V, Error));
+  EXPECT_NE(Error.find("number out of range"), std::string::npos);
+  EXPECT_FALSE(parseJson("-1e999", V, Error));
+  EXPECT_FALSE(parseJson("-nan", V, Error));
+  EXPECT_FALSE(parseJson("[1, 1e999]", V, Error));
+  // Large-but-finite values stay valid.
+  ASSERT_TRUE(parseJson("1e308", V, Error)) << Error;
+  EXPECT_EQ(V.Num, 1e308);
 }
 
 //===----------------------------------------------------------------------===//

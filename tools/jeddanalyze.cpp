@@ -14,11 +14,16 @@
 ///   jeddanalyze --benchmark NAME    analyze a generated benchmark
 ///   jeddanalyze --generate NAME -o FILE   write a benchmark's facts
 ///   ... [--profile FILE.html] [--trace FILE.json] [--metrics FILE.json]
-///   ... [--sequential]
+///   ... [--sequential] [--checkpoint-dir DIR]
+///
+/// With --checkpoint-dir, each analysis stage's relations are saved to
+/// DIR as JDD1 checkpoints; a rerun over the same facts warm-starts from
+/// them instead of recomputing (docs/persistence.md).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Analyses.h"
+#include "analysis/Checkpoint.h"
 #include "obs/Obs.h"
 #include "profiler/Profiler.h"
 #include "soot/FactsIO.h"
@@ -37,7 +42,8 @@ int usage(const char *Argv0) {
                "usage: %s (--facts FILE | --benchmark NAME | "
                "--generate NAME -o FILE)\n"
                "          [--profile FILE.html] [--trace FILE.json]\n"
-               "          [--metrics FILE.json] [--sequential]\n",
+               "          [--metrics FILE.json] [--sequential]\n"
+               "          [--checkpoint-dir DIR]\n",
                Argv0);
   return 2;
 }
@@ -46,7 +52,7 @@ int usage(const char *Argv0) {
 
 int main(int argc, char **argv) {
   std::string FactsPath, Benchmark, GenerateName, OutputPath, ProfilePath;
-  std::string TracePath, MetricsPath;
+  std::string TracePath, MetricsPath, CheckpointDir;
   bdd::BitOrder Order = bdd::BitOrder::Interleaved;
 
   for (int I = 1; I < argc; ++I) {
@@ -65,6 +71,8 @@ int main(int argc, char **argv) {
       TracePath = argv[++I];
     else if (Arg == "--metrics" && I + 1 < argc)
       MetricsPath = argv[++I];
+    else if (Arg == "--checkpoint-dir" && I + 1 < argc)
+      CheckpointDir = argv[++I];
     else if (Arg == "--sequential")
       Order = bdd::BitOrder::Sequential;
     else
@@ -114,18 +122,28 @@ int main(int argc, char **argv) {
   if (!ProfilePath.empty())
     Profiler.attach();
 
-  analysis::WholeProgramAnalysis WPA(AU);
+  analysis::CheckpointedAnalysis WPA(AU, CheckpointDir);
   WPA.run();
+
+  if (!CheckpointDir.empty())
+    for (const analysis::CheckpointedAnalysis::StageStatus &St :
+         WPA.stages())
+      std::printf("stage %-12s %s%s%s\n", St.Name.c_str(),
+                  St.WarmStarted ? "warm-started"
+                  : St.Saved     ? "computed, checkpointed"
+                                 : "computed",
+                  St.Note.empty() ? "" : " — ",
+                  St.Note.c_str());
 
   std::printf("program:            %zu classes, %zu methods, %zu calls\n",
               Prog.Klasses.size(), Prog.Methods.size(), Prog.Calls.size());
-  std::printf("subtype pairs:      %.0f\n", WPA.H.Subtype.size());
-  std::printf("points-to pairs:    %.0f (%zu nodes)\n", WPA.PTA.Pt.size(),
-              WPA.PTA.Pt.nodeCount());
+  std::printf("subtype pairs:      %.0f\n", WPA.H->Subtype.size());
+  std::printf("points-to pairs:    %.0f (%zu nodes)\n", WPA.PTA->Pt.size(),
+              WPA.PTA->Pt.nodeCount());
   std::printf("heap triples:       %.0f (%zu nodes)\n",
-              WPA.PTA.FieldPt.size(), WPA.PTA.FieldPt.nodeCount());
-  std::printf("call edges:         %.0f\n", WPA.CGB.Cg.size());
-  std::printf("reachable methods:  %zu\n", WPA.CGB.reachableMethods().size());
+              WPA.PTA->FieldPt.size(), WPA.PTA->FieldPt.nodeCount());
+  std::printf("call edges:         %.0f\n", WPA.CGB->Cg.size());
+  std::printf("reachable methods:  %zu\n", WPA.CGB->reachableMethods().size());
   std::printf("transitive writes:  %.0f\n", WPA.SEA->TotalWrite.size());
   std::printf("transitive reads:   %.0f\n", WPA.SEA->TotalRead.size());
 

@@ -20,14 +20,19 @@
 ///     --namespace N  namespace for the generated code
 ///     --trace FILE   write a Chrome trace of the compile (SAT spans)
 ///     --metrics FILE write an aggregated metrics snapshot
+///     --emit-relations FILE
+///                    run the program (main(), if present) and save its
+///                    global relations as a JDD1 checkpoint image
 ///
 /// Multiple inputs are concatenated (shared declarations first), the way
 /// the Table 1 "All 5 combined" row is built.
 ///
 //===----------------------------------------------------------------------===//
 
+#include "io/Io.h"
 #include "jedd/CppEmit.h"
 #include "jedd/Driver.h"
+#include "jedd/Interp.h"
 #include "obs/Obs.h"
 #include "sat/Cnf.h"
 #include "util/File.h"
@@ -51,7 +56,10 @@ int usage(const char *Argv0) {
                "  --dimacs FILE  dump the SAT encoding as DIMACS cnf\n"
                "  --namespace N  namespace for generated code\n"
                "  --trace FILE   write a Chrome trace of the compile\n"
-               "  --metrics FILE write an aggregated metrics snapshot\n",
+               "  --metrics FILE write an aggregated metrics snapshot\n"
+               "  --emit-relations FILE\n"
+               "                 run main() and save the global relations\n"
+               "                 as a JDD1 checkpoint image\n",
                Argv0);
   return 2;
 }
@@ -61,7 +69,7 @@ int usage(const char *Argv0) {
 int main(int argc, char **argv) {
   std::vector<std::string> Inputs;
   std::string OutputPath, DimacsPath, Namespace = "jedd_generated";
-  std::string TracePath, MetricsPath;
+  std::string TracePath, MetricsPath, EmitRelationsPath;
   bool Emit = false, Stats = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -80,6 +88,8 @@ int main(int argc, char **argv) {
       TracePath = argv[++I];
     } else if (Arg == "--metrics" && I + 1 < argc) {
       MetricsPath = argv[++I];
+    } else if (Arg == "--emit-relations" && I + 1 < argc) {
+      EmitRelationsPath = argv[++I];
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
                    Arg.c_str());
@@ -151,6 +161,27 @@ int main(int argc, char **argv) {
     }
     if (Emit)
       std::fputs(Cpp.c_str(), stdout);
+  }
+
+  if (!EmitRelationsPath.empty()) {
+    rel::Universe U;
+    Compiled->buildUniverse(U);
+    Interpreter Interp(*Compiled, U);
+    if (Compiled->findFunction("main") >= 0)
+      Interp.call("main", {});
+    std::vector<jedd::io::NamedRelation> Globals;
+    for (const CheckedVar &Var : Compiled->program().Vars)
+      if (Var.Function == -1)
+        Globals.push_back({Var.Name, Interp.getGlobal(Var.Name)});
+    jedd::io::Error E = jedd::io::saveCheckpointFile(
+        U, Globals, EmitRelationsPath, jedd::io::hashBytes(Source));
+    if (!E.ok()) {
+      std::fprintf(stderr, "%s: error: cannot write %s: %s\n", argv[0],
+                   EmitRelationsPath.c_str(), E.toString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu relations)\n", EmitRelationsPath.c_str(),
+                Globals.size());
   }
 
   if (!TracePath.empty() && !Tracer.writeChromeTrace(TracePath)) {

@@ -9,6 +9,10 @@
 #     multi-core engine of docs/parallelism.md;
 #   * AddressSanitizer + UndefinedBehaviorSanitizer, running everything.
 #
+# Both configurations additionally loop the persistence fuzz battery
+# (tests/io_fuzz_test.cpp): hostile-image loads must fail as typed
+# errors without ever reading out of bounds or racing the manager.
+#
 # Usage: tools/run_sanitized_tests.sh [thread|address|all]   (default: all)
 #
 # Build trees go to build-tsan/ and build-asan/ next to build/ so they
@@ -28,10 +32,16 @@ run_thread() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
         --target bdd_parallel_test bdd_reorder_stress_test \
-                 obs_stress_test bdd_differential_test
+                 obs_stress_test bdd_differential_test io_fuzz_test \
+                 io_test
   (cd "$ROOT/build-tsan" && ctest --output-on-failure -L stress)
   TSAN_OPTIONS="halt_on_error=1" \
       "$ROOT/build-tsan/tests/bdd_differential_test"
+  echo "=== ThreadSanitizer: persistence fuzz loop ==="
+  TSAN_OPTIONS="halt_on_error=1" \
+      "$ROOT/build-tsan/tests/io_fuzz_test" --gtest_repeat=3
+  TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/io_test" \
+      --gtest_filter='*Parallel*'
 }
 
 run_address() {
@@ -41,6 +51,9 @@ run_address() {
   cmake --build "$ROOT/build-asan" -j "$JOBS"
   (cd "$ROOT/build-asan" &&
        ASAN_OPTIONS="detect_leaks=0" ctest --output-on-failure -j "$JOBS")
+  echo "=== AddressSanitizer: persistence fuzz loop ==="
+  ASAN_OPTIONS="detect_leaks=0" \
+      "$ROOT/build-asan/tests/io_fuzz_test" --gtest_repeat=5
 }
 
 case "$MODE" in

@@ -173,6 +173,34 @@ void BM_ParallelExists(benchmark::State &State) {
 BENCHMARK(BM_ParallelExists)->Arg(1)->Arg(2)->Arg(4)->UseRealTime();
 
 //===--------------------------------------------------------------------===//
+// Resource governor: bookkeeping overhead and abort/recovery cost
+// (docs/robustness.md)
+//===--------------------------------------------------------------------===//
+// Arg = node ceiling handed to setResourceLimits (0 = ungoverned
+// baseline). Compare a generous ceiling against the /0 row to read the
+// governor's per-allocation overhead; the tight ceiling exercises the
+// abort + GC-recovery path on every iteration (the "aborts" counter
+// confirms which regime a row measured).
+
+void BM_GovernedApplyAnd(benchmark::State &State) {
+  PackFixture F(12, 10, 400);
+  ResourceLimits Limits;
+  Limits.MaxNodes = static_cast<size_t>(State.range(0));
+  F.Pack.manager().setResourceLimits(Limits);
+  size_t Aborts = 0;
+  for (auto _ : State) {
+    try {
+      Bdd R = F.Left & F.Right;
+      benchmark::DoNotOptimize(R.ref());
+    } catch (const ResourceExhausted &) {
+      ++Aborts;
+    }
+  }
+  State.counters["aborts"] = static_cast<double>(Aborts);
+}
+BENCHMARK(BM_GovernedApplyAnd)->Arg(0)->Arg(1 << 16)->Arg(1 << 10);
+
+//===--------------------------------------------------------------------===//
 // Relational level: compose vs join-then-project (Section 2.2.3)
 //===--------------------------------------------------------------------===//
 
@@ -229,7 +257,8 @@ int main(int argc, char **argv) {
   // The smoke configuration runs one fast case per layer instead of the
   // full argument sweep.
   char SmokeFilter[] =
-      "--benchmark_filter=BM_Apply_And/8$|BM_RelProd/8$|BM_Compose/200$";
+      "--benchmark_filter=BM_Apply_And/8$|BM_RelProd/8$|BM_Compose/200$|"
+      "BM_GovernedApplyAnd/65536$";
   if (Obs.smoke())
     Args.push_back(SmokeFilter);
   int BenchArgc = static_cast<int>(Args.size());

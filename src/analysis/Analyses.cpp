@@ -23,7 +23,8 @@ using soot::Program;
 //===----------------------------------------------------------------------===//
 
 AnalysisUniverse::AnalysisUniverse(const Program &Prog, bdd::BitOrder Order,
-                                   bdd::ReorderConfig Reorder)
+                                   bdd::ReorderConfig Reorder,
+                                   bdd::ResourceLimits Limits)
     : Prog(Prog) {
   auto Sz = [](size_t N) { return std::max<uint64_t>(N, 1); };
   DVar = U.addDomain("Var", Sz(Prog.NumVars));
@@ -73,6 +74,8 @@ AnalysisUniverse::AnalysisUniverse(const Program &Prog, bdd::BitOrder Order,
   C1 = U.addPhysicalDomain("C1", BC);
 
   U.finalize(Order, 1 << 16, 1 << 18, {}, Reorder);
+  if (Limits.any())
+    U.setResourceLimits(Limits);
 }
 
 //===----------------------------------------------------------------------===//

@@ -38,9 +38,13 @@ namespace analysis {
 /// use, sized for one program, and owns the universe.
 class AnalysisUniverse {
 public:
+  /// \p Limits installs resource ceilings (node/byte/time budgets and an
+  /// optional cancellation token — docs/robustness.md) on the shared BDD
+  /// manager right after finalize(); the default is ungoverned.
   explicit AnalysisUniverse(const soot::Program &Prog,
                             bdd::BitOrder Order = bdd::BitOrder::Interleaved,
-                            bdd::ReorderConfig Reorder = {});
+                            bdd::ReorderConfig Reorder = {},
+                            bdd::ResourceLimits Limits = {});
 
   rel::Universe U;
   const soot::Program &Prog;

@@ -8,6 +8,7 @@
 #include "analysis/Checkpoint.h"
 
 #include "soot/FactsIO.h"
+#include "util/Error.h"
 #include "util/File.h"
 
 using namespace jedd;
@@ -94,9 +95,26 @@ void CheckpointedAnalysis::run() {
   // checkpoint was missing or unreadable.)
   bool PrefixWarm = true;
 
+  // Each completed stage checkpoints immediately, so when a later stage
+  // trips a resource ceiling the run is resumable: record which stage
+  // was interrupted, let the exception out, and a rerun warm-starts past
+  // everything that finished.
+  const char *Current = StageHierarchy;
+  try {
+    runStages(Persist, Hash, PrefixWarm, Current);
+  } catch (const ResourceExhausted &E) {
+    StageStatus St{Current, false, false, /*Aborted=*/true,
+                   std::string("aborted: ") + E.what()};
+    Stages.push_back(std::move(St));
+    throw;
+  }
+}
+
+void CheckpointedAnalysis::runStages(bool Persist, uint64_t Hash,
+                                     bool PrefixWarm, const char *&Current) {
   // --- hierarchy -------------------------------------------------------
   {
-    StageStatus St{StageHierarchy, false, false, ""};
+    StageStatus St{StageHierarchy, false, false, false, ""};
     std::vector<NamedRelation> Loaded;
     if (Persist && PrefixWarm &&
         tryLoad(StageHierarchy, Hash, {"extend", "subtype"}, Loaded,
@@ -117,7 +135,8 @@ void CheckpointedAnalysis::run() {
 
   // --- virtual call resolution ----------------------------------------
   {
-    StageStatus St{StageVcr, false, false, ""};
+    Current = StageVcr;
+    StageStatus St{StageVcr, false, false, false, ""};
     std::vector<NamedRelation> Loaded;
     if (Persist && PrefixWarm &&
         tryLoad(StageVcr, Hash, {"declares_method"}, Loaded, St.Note)) {
@@ -137,7 +156,8 @@ void CheckpointedAnalysis::run() {
 
   // --- points-to + call graph (joint fixpoint) ------------------------
   {
-    StageStatus St{StageCallGraph, false, false, ""};
+    Current = StageCallGraph;
+    StageStatus St{StageCallGraph, false, false, false, ""};
     const std::vector<std::string> Names = {
         "pt",        "field_pt",      "alloc",     "assign",
         "load",      "store",         "site_type", "call_recv_sig",
@@ -187,7 +207,8 @@ void CheckpointedAnalysis::run() {
 
   // --- side effects ----------------------------------------------------
   {
-    StageStatus St{StageSideEffects, false, false, ""};
+    Current = StageSideEffects;
+    StageStatus St{StageSideEffects, false, false, false, ""};
     const std::vector<std::string> Names = {
         "var_method", "direct_read", "direct_write", "total_read",
         "total_write"};

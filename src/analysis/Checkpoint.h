@@ -47,6 +47,13 @@ public:
 
   /// Runs all stages, loading each from its checkpoint when current and
   /// computing + saving it otherwise.
+  ///
+  /// When a stage trips a resource ceiling (docs/robustness.md) the
+  /// jedd::ResourceExhausted propagates out of run() — but every stage
+  /// completed before it already wrote its checkpoint, and the
+  /// interrupted stage is recorded in stages() with Aborted set. The
+  /// pipeline is *resumable*: rerunning (with a bigger budget) over the
+  /// same facts warm-starts past all completed stages.
   void run();
 
   /// What happened to one stage during run().
@@ -54,6 +61,7 @@ public:
     std::string Name;
     bool WarmStarted = false; ///< Loaded from its checkpoint.
     bool Saved = false;       ///< Computed and written this run.
+    bool Aborted = false;     ///< Interrupted by resource exhaustion.
     std::string Note;         ///< Why a load was not used ("" when warm).
   };
   const std::vector<StageStatus> &stages() const { return Stages; }
@@ -72,6 +80,11 @@ public:
 private:
   std::string Dir;
   std::vector<StageStatus> Stages;
+
+  /// The stage blocks of run(); \p Current tracks the stage in progress
+  /// so the ResourceExhausted handler can attribute an abort.
+  void runStages(bool Persist, uint64_t Hash, bool PrefixWarm,
+                 const char *&Current);
 
   std::string stagePath(const std::string &Stage) const;
   /// Loads one stage's checkpoint, checking the context hash and that

@@ -25,8 +25,11 @@
 #ifndef JEDDPP_BDD_BDD_H
 #define JEDDPP_BDD_BDD_H
 
+#include "util/Error.h"
+
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -94,6 +97,31 @@ struct ReorderConfig {
   /// A block stops sifting in one direction once the total live size
   /// exceeds MaxGrowth times the best size seen for this block.
   double MaxGrowth = 1.2;
+};
+
+/// Resource-governor limits (docs/robustness.md). All zero/null means
+/// ungoverned — the historical grow-until-OOM behavior. When a limit
+/// trips mid-operation the operation unwinds via jedd::ResourceExhausted,
+/// the manager runs its GC + cache-flush recovery, and every pre-existing
+/// handle remains valid with unchanged semantics. This is jeddpp's
+/// analogue of BuDDy's bdd_setmaxnodenum and CUDD's memory/time limits,
+/// which the paper's runtime leans on (Section 6).
+struct ResourceLimits {
+  /// Ceiling on allocated (live + not-yet-collected) nodes; 0 = none.
+  size_t MaxNodes = 0;
+  /// Ceiling on the manager's approximate heap bytes (node pool, unique
+  /// table, caches, mark bits); 0 = none.
+  size_t MaxBytes = 0;
+  /// Wall-clock budget, measured from setResourceLimits(); 0 = none.
+  uint64_t TimeLimitMicros = 0;
+  /// Cooperative cancellation token: operations poll it and abort with
+  /// Kind::Cancelled once it reads true. Must outlive the manager (or be
+  /// reset to null). Tools wire their SIGINT flag here.
+  const std::atomic<bool> *Cancel = nullptr;
+
+  bool any() const {
+    return MaxNodes || MaxBytes || TimeLimitMicros || Cancel;
+  }
 };
 
 /// Counters of the reordering machinery, surfaced in the profiler's
@@ -209,6 +237,17 @@ struct ManagerStats {
   size_t ReorderNodesBefore = 0;
   size_t ReorderNodesAfter = 0;
   uint64_t ReorderMicros = 0;
+
+  // Resource-governor state (docs/robustness.md); limits echo the
+  // configured ResourceLimits, peaks/aborts accumulate over the
+  // manager's lifetime.
+  size_t LimitMaxNodes = 0;       ///< Configured node ceiling (0 = none).
+  size_t LimitMaxBytes = 0;       ///< Configured byte ceiling (0 = none).
+  size_t NodesPeak = 0;           ///< Peak allocated nodes observed.
+  size_t BytesPeak = 0;           ///< Peak approximate heap bytes.
+  size_t ResourceAborts = 0;      ///< Operations aborted by the governor.
+  size_t ResourceRecoveries = 0;  ///< Completed post-abort recoveries.
+  size_t ResourceEscalations = 0; ///< Pressure escalations (gc/reorder).
 };
 
 /// The BDD manager: node pool, unique table, computed cache, and all
@@ -379,6 +418,22 @@ public:
   ManagerStats stats() const;
   /// Number of nodes reachable from live roots (forces a mark pass).
   size_t liveNodeCount();
+
+  //===--------------------------------------------------------------===//
+  // Resource governor (docs/robustness.md)
+  //===--------------------------------------------------------------===//
+
+  /// Installs (or clears, with a default-constructed value) the resource
+  /// limits. The wall-clock budget starts counting from this call. Safe
+  /// between operations only.
+  void setResourceLimits(const ResourceLimits &L);
+  ResourceLimits resourceLimits() const;
+
+  /// Deterministic fault injection: roughly one in \p Rate governor
+  /// checkpoints trips with Kind::FaultInjected / Kind::AllocFailed
+  /// (0 disables). Also configurable via the JEDDPP_FAULT_INJECT
+  /// environment variable ("RATE" or "RATE:SEED").
+  void setFaultInjection(uint64_t Seed, uint32_t Rate);
 
   // Reference counting, used by the Bdd handle.
   void incRef(NodeRef Ref);
@@ -626,6 +681,79 @@ private:
   /// order, enabling the single-recursion replace fast path.
   bool isOrderPreserving(const std::vector<int> &Map,
                          const std::vector<unsigned> &Support) const;
+
+  //===--------------------------------------------------------------===//
+  // Resource-governor state (docs/robustness.md)
+  //===--------------------------------------------------------------===//
+
+  ResourceLimits Limits;
+  /// Any limit, cancel token or fault injector is active; single branch
+  /// gating all hot-path checks.
+  bool GovEnabled = false;
+  /// Absolute deadline derived from TimeLimitMicros at install time.
+  std::chrono::steady_clock::time_point GovDeadlineAt{};
+  /// Pending abort: 0 = none, else ResourceExhausted::Kind + 1. Serial
+  /// code throws directly; parallel workers set this and propagate the
+  /// NoNode sentinel outward — they must never throw across the
+  /// fork/join machinery.
+  std::atomic<uint32_t> GovAbort{0};
+  std::atomic<size_t> GovNodesPeak{0};
+  std::atomic<size_t> GovBytesPeak{0};
+  std::atomic<size_t> GovAborts{0};
+  std::atomic<size_t> GovRecoveries{0};
+  std::atomic<size_t> GovEscalations{0};
+  /// Serial poll divider: deadline/cancel are only consulted every
+  /// GovTickMask + 1 node creations.
+  uint32_t GovTick = 0;
+  static constexpr uint32_t GovTickMask = 1023;
+  /// One forced reorder per pressure episode; re-armed when usage drops
+  /// below half the ceiling.
+  bool GovReorderEscalated = false;
+  // Fault injection (JEDDPP_FAULT_INJECT / setFaultInjection).
+  uint64_t FaultSeed = 0;
+  uint32_t FaultRate = 0;
+  std::atomic<uint64_t> FaultCounter{0};
+
+  size_t usedNodesImpl() const { return Nodes.size() - FreeCount; }
+  size_t heapBytesApprox() const;
+  /// Records usage peaks; returns the byte figure it computed.
+  size_t notePeaks();
+  bool faultRoll();
+  /// Builds the typed error for a pending abort kind (Kind + 1 encoding).
+  [[noreturn]] void throwResource(uint32_t KindPlus1);
+  /// Deadline / cancellation / forced-fault trips plus pending parallel
+  /// aborts. Lock-free; throws ResourceExhausted. Safe from a client
+  /// thread before it takes the shared operation lock.
+  void governorBoundary();
+  /// Escalation ladder + boundary checks at operation entry (called from
+  /// gcIfNeededImpl under serial/exclusive conditions): flush caches →
+  /// GC → forced reorder, then the boundary trips. Throws.
+  void governorPreOp();
+  /// Serial allocation-level check (ceilings plus periodic deadline /
+  /// cancel poll). Throws; no-op while reordering.
+  void governorCheckAlloc();
+  /// Parallel-side checks; set GovAbort instead of throwing. The alloc
+  /// variant runs under FreeLock in refillLocalFree, the poll variant in
+  /// worker recursions.
+  void govCheckAllocMT() noexcept;
+  void govPollMT() noexcept;
+  bool govAborted() const {
+    return GovAbort.load(std::memory_order_relaxed) != 0;
+  }
+  void govRequestAbort(ResourceExhausted::Kind K) noexcept;
+  /// Post-abort recovery: GC + cache flush under the exclusive lock,
+  /// emits resource.abort/resource.recovery spans, clears GovAbort.
+  void recoverAfterAbort(const ResourceExhausted &E);
+  /// Wraps a public operation body: on ResourceExhausted, recover the
+  /// manager to a clean, observably pre-op state, then rethrow.
+  template <typename Fn> auto governed(Fn &&Body) {
+    try {
+      return Body();
+    } catch (const ResourceExhausted &E) {
+      recoverAfterAbort(E);
+      throw;
+    }
+  }
 
   /// The multi-core engine (task pool, worker contexts, concurrent
   /// makeNode). Declared last so it is destroyed first: workers must

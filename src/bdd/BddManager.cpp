@@ -12,7 +12,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
+#include <new>
 
 using namespace jedd;
 using namespace jedd::bdd;
@@ -143,7 +145,10 @@ void Manager::NodePool::growTo(size_t NewCap) {
     Chunks.reserve(MaxChunks); // Never reallocates afterwards.
   size_t Current = Cap.load(std::memory_order_relaxed);
   while (Current < NewCap) {
-    assert(Chunks.size() < MaxChunks && "node pool exhausted");
+    // Address-space exhaustion surfaces like any allocation failure; the
+    // callers translate it to ResourceExhausted.
+    if (Chunks.size() >= MaxChunks)
+      throw std::bad_alloc();
     Chunks.push_back(std::make_unique<Node[]>(ChunkSize));
     Current += ChunkSize;
   }
@@ -190,6 +195,21 @@ Manager::Manager(unsigned NumVars, size_t InitialNodes, size_t CacheSize,
     ParCfg.NumThreads = std::max(1u, std::thread::hardware_concurrency());
   ParMode = ParCfg.NumThreads > 1;
   FreeApprox.store(FreeCount, std::memory_order_relaxed);
+
+  // Fault injection from the environment: "RATE" or "RATE:SEED" (one in
+  // RATE governor checkpoints trips). The API (setFaultInjection) takes
+  // precedence when called later.
+  if (const char *Env = std::getenv("JEDDPP_FAULT_INJECT")) {
+    char *End = nullptr;
+    unsigned long Rate = std::strtoul(Env, &End, 10);
+    if (Rate > 0) {
+      FaultRate = static_cast<uint32_t>(Rate);
+      if (End && *End == ':')
+        FaultSeed = std::strtoull(End + 1, nullptr, 10);
+      GovEnabled = true;
+    }
+  }
+
   if (ParMode)
     Par = std::make_unique<ParallelEngine>(*this, ParCfg, CacheSize);
 }
@@ -207,6 +227,13 @@ NodeRef Manager::makeNode(uint32_t Var, NodeRef Low, NodeRef High) {
   for (uint32_t N = Buckets[Hash]; N != NoNode; N = Nodes[N].Next)
     if (Nodes[N].Var == Var && Nodes[N].Low == Low && Nodes[N].High == High)
       return N;
+
+  // Governor checkpoint at the allocation level (ceilings, periodic
+  // deadline/cancel poll, injected allocation failures). Disabled while
+  // sifting: a throw mid-swap would corrupt the table, so reordering
+  // polls at its own block boundaries instead.
+  if (GovEnabled && !InReorder)
+    governorCheckAlloc();
 
   if (FreeHead == NoNode) {
     growPool();
@@ -226,10 +253,27 @@ void Manager::growPool() {
   // Growing (rather than collecting) is the only safe response while a
   // recursive operation is in flight: unreferenced intermediate results
   // must survive. See the class comment.
+  if (GovEnabled && !InReorder) {
+    size_t Bytes = notePeaks();
+    if (Limits.MaxBytes && Bytes >= Limits.MaxBytes)
+      throwResource(
+          static_cast<uint32_t>(ResourceExhausted::Kind::Bytes) + 1);
+    if (FaultRate && faultRoll())
+      throwResource(
+          static_cast<uint32_t>(ResourceExhausted::Kind::AllocFailed) + 1);
+  }
   size_t OldCapacity = Nodes.size();
   size_t NewCapacity = OldCapacity * 2;
-  Nodes.growTo(NewCapacity);
-  Marks.resize(NewCapacity, 0);
+  try {
+    Nodes.growTo(NewCapacity);
+    Marks.resize(NewCapacity, 0);
+  } catch (const std::bad_alloc &) {
+    // The pool/mark vectors are still consistent (growth appends only);
+    // the recovery GC run by governed() reclaims whatever the aborted
+    // operation allocated so far.
+    throwResource(
+        static_cast<uint32_t>(ResourceExhausted::Kind::AllocFailed) + 1);
+  }
   for (size_t I = NewCapacity; I-- > OldCapacity;) {
     Nodes[I].Var = VarFree;
     Nodes[I].Low = FreeHead;
@@ -245,7 +289,15 @@ void Manager::growPool() {
 }
 
 void Manager::rehash() {
-  Buckets.assign(roundUpPow2(Nodes.size()), NoNode);
+  try {
+    Buckets.assign(roundUpPow2(Nodes.size()), NoNode);
+  } catch (const std::bad_alloc &) {
+    // assign allocates before mutating, so the old bucket array is
+    // intact; long chains are a performance problem, not a correctness
+    // one. Surface the failure as a governor abort.
+    throwResource(
+        static_cast<uint32_t>(ResourceExhausted::Kind::AllocFailed) + 1);
+  }
   for (uint32_t N = 2, E = static_cast<uint32_t>(Nodes.size()); N != E; ++N) {
     Node &Nd = Nodes[N];
     if (Nd.Var >= VarFree)
@@ -328,17 +380,26 @@ void Manager::gcIfNeededImpl() {
     if (reorderDueImpl())
       reorderImpl(/*Force=*/false);
   }
+  if (GovEnabled && !InReorder)
+    governorPreOp();
 }
 
 void Manager::exclusiveProlog() { gcIfNeededImpl(); }
 
 void Manager::maybeGcShared() {
+  if (GovEnabled)
+    governorBoundary(); // Lock-free trips, before taking any lock.
   size_t FreeA = FreeApprox.load(std::memory_order_relaxed);
   size_t Cap = Nodes.size();
   size_t LiveA = Cap > FreeA + 2 ? Cap - FreeA - 2 : 0;
   bool WantGc = FreeA * 8 < Cap;
   bool WantReorder = LiveA >= ReorderTrigger.load(std::memory_order_relaxed);
-  if (!WantGc && !WantReorder)
+  // Node pressure against the governor ceiling also warrants an
+  // exclusive stop: the escalation ladder (GC, forced reorder) can only
+  // run there.
+  bool WantGov = GovEnabled && Limits.MaxNodes &&
+                 (Cap - FreeA) * 8 >= Limits.MaxNodes * 7;
+  if (!WantGc && !WantReorder && !WantGov)
     return;
   std::unique_lock<std::shared_mutex> Lock(OpLock);
   gcIfNeededImpl(); // Rechecks under the lock; runs a due reorder too.
@@ -347,21 +408,25 @@ void Manager::maybeGcShared() {
 }
 
 void Manager::gc() {
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
+  governed([&] {
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      gcImpl();
+      return;
+    }
     gcImpl();
-    return;
-  }
-  gcImpl();
+  });
 }
 
 void Manager::gcIfNeeded() {
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
+  governed([&] {
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      gcIfNeededImpl();
+      return;
+    }
     gcIfNeededImpl();
-    return;
-  }
-  gcIfNeededImpl();
+  });
 }
 
 void Manager::incRef(NodeRef Ref) { refAdd(Nodes[Ref].RefCount, ParMode); }
@@ -403,6 +468,13 @@ ManagerStats Manager::stats() const {
     S.ReorderNodesBefore = RStats.NodesBefore;
     S.ReorderNodesAfter = RStats.NodesAfter;
     S.ReorderMicros = RStats.Micros;
+    S.LimitMaxNodes = Limits.MaxNodes;
+    S.LimitMaxBytes = Limits.MaxBytes;
+    S.NodesPeak = GovNodesPeak.load(std::memory_order_relaxed);
+    S.BytesPeak = GovBytesPeak.load(std::memory_order_relaxed);
+    S.ResourceAborts = GovAborts.load(std::memory_order_relaxed);
+    S.ResourceRecoveries = GovRecoveries.load(std::memory_order_relaxed);
+    S.ResourceEscalations = GovEscalations.load(std::memory_order_relaxed);
   };
   if (ParMode) {
     // Shared lock: consistent against GC/rehash but callable while
@@ -437,6 +509,226 @@ ManagerStats Manager::stats() const {
 }
 
 //===----------------------------------------------------------------------===//
+// Resource governor (docs/robustness.md)
+//===----------------------------------------------------------------------===//
+
+void Manager::setResourceLimits(const ResourceLimits &L) {
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
+  Limits = L;
+  GovDeadlineAt = L.TimeLimitMicros
+                      ? std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(L.TimeLimitMicros)
+                      : std::chrono::steady_clock::time_point{};
+  GovEnabled = Limits.any() || FaultRate != 0;
+  GovAbort.store(0, std::memory_order_relaxed);
+}
+
+ResourceLimits Manager::resourceLimits() const {
+  std::shared_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
+  return Limits;
+}
+
+void Manager::setFaultInjection(uint64_t Seed, uint32_t Rate) {
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
+  FaultSeed = Seed;
+  FaultRate = Rate;
+  FaultCounter.store(0, std::memory_order_relaxed);
+  GovEnabled = Limits.any() || FaultRate != 0;
+}
+
+size_t Manager::heapBytesApprox() const {
+  // The manager-core footprint; per-thread caches of the parallel engine
+  // are sized once at construction and excluded.
+  return Nodes.size() * sizeof(Node) + Buckets.capacity() * sizeof(uint32_t) +
+         Cache.capacity() * sizeof(CacheEntry) + Marks.capacity() +
+         Stamps.capacity() * sizeof(uint32_t);
+}
+
+size_t Manager::notePeaks() {
+  auto Raise = [](std::atomic<size_t> &Peak, size_t Value) {
+    size_t Prev = Peak.load(std::memory_order_relaxed);
+    while (Prev < Value &&
+           !Peak.compare_exchange_weak(Prev, Value, std::memory_order_relaxed))
+      ;
+  };
+  Raise(GovNodesPeak, usedNodesImpl());
+  size_t Bytes = heapBytesApprox();
+  Raise(GovBytesPeak, Bytes);
+  return Bytes;
+}
+
+bool Manager::faultRoll() {
+  // splitmix64 finalizer over a shared checkpoint counter: deterministic
+  // for a fixed seed and checkpoint sequence, uniform enough for a
+  // 1-in-Rate trip probability.
+  uint64_t N =
+      FaultCounter.fetch_add(1, std::memory_order_relaxed) + FaultSeed;
+  N ^= N >> 30;
+  N *= 0xbf58476d1ce4e5b9ULL;
+  N ^= N >> 27;
+  N *= 0x94d049bb133111ebULL;
+  N ^= N >> 31;
+  return N % FaultRate == 0;
+}
+
+void Manager::throwResource(uint32_t KindPlus1) {
+  using K = ResourceExhausted::Kind;
+  K Kind = KindPlus1 ? static_cast<K>(KindPlus1 - 1) : K::AllocFailed;
+  size_t NP = GovNodesPeak.load(std::memory_order_relaxed);
+  size_t BP = GovBytesPeak.load(std::memory_order_relaxed);
+  std::string Msg = "BDD resource limit tripped: ";
+  Msg += resourceKindName(Kind);
+  if (Kind == K::Nodes)
+    Msg += " (max-nodes " + std::to_string(Limits.MaxNodes) + ")";
+  else if (Kind == K::Bytes)
+    Msg += " (max-bytes " + std::to_string(Limits.MaxBytes) + ")";
+  Msg += "; peak " + std::to_string(NP) + " nodes / " + std::to_string(BP) +
+         " bytes";
+  throw ResourceExhausted(Kind, Msg, NP, BP);
+}
+
+void Manager::govRequestAbort(ResourceExhausted::Kind K) noexcept {
+  uint32_t Expected = 0;
+  GovAbort.compare_exchange_strong(Expected, static_cast<uint32_t>(K) + 1,
+                                   std::memory_order_relaxed);
+}
+
+void Manager::governorBoundary() {
+  if (!GovEnabled || InReorder)
+    return;
+  // A leftover abort (set by a parallel worker, or by a truncated
+  // reorder pass) trips the next operation that reaches a boundary.
+  if (uint32_t Pending = GovAbort.load(std::memory_order_acquire))
+    throwResource(Pending);
+  if (Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed))
+    throwResource(static_cast<uint32_t>(ResourceExhausted::Kind::Cancelled) +
+                  1);
+  if (Limits.TimeLimitMicros &&
+      std::chrono::steady_clock::now() >= GovDeadlineAt)
+    throwResource(static_cast<uint32_t>(ResourceExhausted::Kind::Deadline) +
+                  1);
+  if (FaultRate && faultRoll())
+    throwResource(
+        static_cast<uint32_t>(ResourceExhausted::Kind::FaultInjected) + 1);
+}
+
+void Manager::governorPreOp() {
+  // Escalation ladder under node pressure (flush caches → GC → forced
+  // reorder): gcImpl covers the first two rungs, a single forced sifting
+  // pass per episode the third. If usage still sits above 7/8 of the
+  // ceiling afterwards the ladder is exhausted; the operation proceeds
+  // and aborts at the allocation that crosses the ceiling.
+  if (Limits.MaxNodes) {
+    size_t Used = usedNodesImpl();
+    if (Used * 8 >= Limits.MaxNodes * 7 && !GovReorderEscalated) {
+      GovEscalations.fetch_add(1, std::memory_order_relaxed);
+      gcImpl();
+      Used = usedNodesImpl();
+      if (Used * 8 >= Limits.MaxNodes * 7) {
+        reorderImpl(/*Force=*/true);
+        Used = usedNodesImpl();
+      }
+      if (Used * 8 >= Limits.MaxNodes * 7)
+        GovReorderEscalated = true; // Ladder exhausted for this episode.
+    }
+    if (Used * 2 < Limits.MaxNodes)
+      GovReorderEscalated = false;
+  }
+  governorBoundary();
+}
+
+void Manager::governorCheckAlloc() {
+  notePeaks();
+  size_t Used = usedNodesImpl();
+  if (Limits.MaxNodes && Used >= Limits.MaxNodes)
+    throwResource(static_cast<uint32_t>(ResourceExhausted::Kind::Nodes) + 1);
+  if (FaultRate && faultRoll())
+    throwResource(
+        static_cast<uint32_t>(ResourceExhausted::Kind::AllocFailed) + 1);
+  if ((++GovTick & GovTickMask) == 0) {
+    size_t Bytes = heapBytesApprox();
+    if (Limits.MaxBytes && Bytes >= Limits.MaxBytes)
+      throwResource(static_cast<uint32_t>(ResourceExhausted::Kind::Bytes) +
+                    1);
+    if (Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed))
+      throwResource(
+          static_cast<uint32_t>(ResourceExhausted::Kind::Cancelled) + 1);
+    if (Limits.TimeLimitMicros &&
+        std::chrono::steady_clock::now() >= GovDeadlineAt)
+      throwResource(static_cast<uint32_t>(ResourceExhausted::Kind::Deadline) +
+                    1);
+  }
+}
+
+void Manager::govCheckAllocMT() noexcept {
+  // Called under FreeLock from the parallel refill path; must not throw —
+  // the abort flag propagates as NoNode through the recursions instead.
+  if (!GovEnabled || InReorder)
+    return;
+  notePeaks();
+  if (Limits.MaxNodes && usedNodesImpl() >= Limits.MaxNodes)
+    govRequestAbort(ResourceExhausted::Kind::Nodes);
+  if (Limits.MaxBytes && heapBytesApprox() >= Limits.MaxBytes)
+    govRequestAbort(ResourceExhausted::Kind::Bytes);
+  if (FaultRate && faultRoll())
+    govRequestAbort(ResourceExhausted::Kind::AllocFailed);
+}
+
+void Manager::govPollMT() noexcept {
+  if (!GovEnabled)
+    return;
+  if (Limits.Cancel && Limits.Cancel->load(std::memory_order_relaxed))
+    govRequestAbort(ResourceExhausted::Kind::Cancelled);
+  if (Limits.TimeLimitMicros &&
+      std::chrono::steady_clock::now() >= GovDeadlineAt)
+    govRequestAbort(ResourceExhausted::Kind::Deadline);
+}
+
+void Manager::recoverAfterAbort(const ResourceExhausted &E) {
+  // The throwing path released every lock during unwinding, so the
+  // exclusive lock is free to take here. Concurrent parallel operations
+  // observe the abort flag, finish quickly with the NoNode sentinel and
+  // release their shared locks.
+  std::unique_lock<std::shared_mutex> Lock(OpLock, std::defer_lock);
+  if (ParMode)
+    Lock.lock();
+  GovAborts.fetch_add(1, std::memory_order_relaxed);
+  {
+    obs::SpanGuard Span(obs::Cat::Resource, "abort");
+    if (Span.active()) {
+      Span.arg("kind", static_cast<uint64_t>(E.What));
+      Span.arg("nodes_peak", E.NodesPeak);
+      Span.arg("bytes_peak", E.BytesPeak);
+    }
+  }
+  {
+    obs::SpanGuard Span(obs::Cat::Resource, "recovery");
+    // GC + cache flush: sweeps every intermediate the aborted recursion
+    // left unreferenced and drops cache entries pointing at them. After
+    // this the manager holds exactly the externally referenced state it
+    // had before the operation started.
+    gcImpl();
+    if (Span.active()) {
+      Span.arg("live_nodes", Nodes.size() - FreeCount - 2);
+      obs::Tracer &T = obs::Tracer::instance();
+      T.counterAdd("resource.aborts");
+      T.counterMax("resource.nodes_peak",
+                   GovNodesPeak.load(std::memory_order_relaxed));
+      T.counterMax("resource.bytes_peak",
+                   GovBytesPeak.load(std::memory_order_relaxed));
+    }
+  }
+  GovAbort.store(0, std::memory_order_release);
+  GovRecoveries.fetch_add(1, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
 // Computed cache
 //===----------------------------------------------------------------------===//
 
@@ -467,24 +759,28 @@ void Manager::cacheStore(uint32_t Tag, NodeRef A, NodeRef B, NodeRef C,
 
 Bdd Manager::var(unsigned Var) {
   assert(Var < NumVars && "client variable out of range");
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
-    exclusiveProlog();
+  return governed([&] {
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      exclusiveProlog();
+      return Bdd(this, makeNode(Var, FalseRef, TrueRef));
+    }
+    gcIfNeededImpl();
     return Bdd(this, makeNode(Var, FalseRef, TrueRef));
-  }
-  gcIfNeededImpl();
-  return Bdd(this, makeNode(Var, FalseRef, TrueRef));
+  });
 }
 
 Bdd Manager::nvar(unsigned Var) {
   assert(Var < NumVars && "client variable out of range");
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
-    exclusiveProlog();
+  return governed([&] {
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      exclusiveProlog();
+      return Bdd(this, makeNode(Var, TrueRef, FalseRef));
+    }
+    gcIfNeededImpl();
     return Bdd(this, makeNode(Var, TrueRef, FalseRef));
-  }
-  gcIfNeededImpl();
-  return Bdd(this, makeNode(Var, TrueRef, FalseRef));
+  });
 }
 
 NodeRef Manager::applyRec(Op Operator, NodeRef F, NodeRef G) {
@@ -584,27 +880,41 @@ Bdd Manager::apply(Op Operator, const Bdd &F, const Bdd &G) {
     Span.arg("left_nodes", nodeCount(F));
     Span.arg("right_nodes", nodeCount(G));
   }
-  if (ParMode) {
-    maybeGcShared();
-    Bdd Result;
-    {
-      std::shared_lock<std::shared_mutex> Lock(OpLock);
-      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-      Result = Bdd(this, Par->apply(Operator, F.ref(), G.ref()));
+  return governed([&] {
+    if (ParMode) {
+      maybeGcShared();
+      Bdd Result;
+      bool Aborted = false;
+      uint32_t AbortKind = 0;
+      {
+        std::shared_lock<std::shared_mutex> Lock(OpLock);
+        ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+        NodeRef R = Par->apply(Operator, F.ref(), G.ref());
+        // NoNode is the workers' abort sentinel — it must never reach a
+        // Bdd handle (it indexes nothing).
+        if (R == NoNode || govAborted()) {
+          Aborted = true;
+          AbortKind = GovAbort.load(std::memory_order_acquire);
+        } else {
+          Result = Bdd(this, R);
+        }
+      }
+      if (Aborted)
+        throwResource(AbortKind);
+      if (Span.active())
+        Span.arg("result_nodes", nodeCount(Result));
+      return Result;
     }
-    if (Span.active())
+    size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
+    gcIfNeededImpl();
+    Bdd Result(this, applyRec(Operator, F.ref(), G.ref()));
+    if (Span.active()) {
       Span.arg("result_nodes", nodeCount(Result));
+      Span.arg("cache_hits", CacheHits - Hits0);
+      Span.arg("cache_lookups", CacheLookups - Lookups0);
+    }
     return Result;
-  }
-  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
-  gcIfNeededImpl();
-  Bdd Result(this, applyRec(Operator, F.ref(), G.ref()));
-  if (Span.active()) {
-    Span.arg("result_nodes", nodeCount(Result));
-    Span.arg("cache_hits", CacheHits - Hits0);
-    Span.arg("cache_lookups", CacheLookups - Lookups0);
-  }
-  return Result;
+  });
 }
 
 NodeRef Manager::notRec(NodeRef F) {
@@ -622,13 +932,15 @@ NodeRef Manager::notRec(NodeRef F) {
 
 Bdd Manager::bddNot(const Bdd &F) {
   assert(F.manager() == this && "operand belongs to another manager");
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
-    exclusiveProlog();
+  return governed([&] {
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      exclusiveProlog();
+      return Bdd(this, notRec(F.ref()));
+    }
+    gcIfNeededImpl();
     return Bdd(this, notRec(F.ref()));
-  }
-  gcIfNeededImpl();
-  return Bdd(this, notRec(F.ref()));
+  });
 }
 
 NodeRef Manager::iteRec(NodeRef F, NodeRef G, NodeRef H) {
@@ -668,27 +980,39 @@ Bdd Manager::ite(const Bdd &F, const Bdd &G, const Bdd &H) {
     Span.arg("left_nodes", nodeCount(F));
     Span.arg("right_nodes", nodeCount(G));
   }
-  if (ParMode) {
-    maybeGcShared();
-    Bdd Result;
-    {
-      std::shared_lock<std::shared_mutex> Lock(OpLock);
-      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-      Result = Bdd(this, Par->ite(F.ref(), G.ref(), H.ref()));
+  return governed([&] {
+    if (ParMode) {
+      maybeGcShared();
+      Bdd Result;
+      bool Aborted = false;
+      uint32_t AbortKind = 0;
+      {
+        std::shared_lock<std::shared_mutex> Lock(OpLock);
+        ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+        NodeRef R = Par->ite(F.ref(), G.ref(), H.ref());
+        if (R == NoNode || govAborted()) {
+          Aborted = true;
+          AbortKind = GovAbort.load(std::memory_order_acquire);
+        } else {
+          Result = Bdd(this, R);
+        }
+      }
+      if (Aborted)
+        throwResource(AbortKind);
+      if (Span.active())
+        Span.arg("result_nodes", nodeCount(Result));
+      return Result;
     }
-    if (Span.active())
+    size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
+    gcIfNeededImpl();
+    Bdd Result(this, iteRec(F.ref(), G.ref(), H.ref()));
+    if (Span.active()) {
       Span.arg("result_nodes", nodeCount(Result));
+      Span.arg("cache_hits", CacheHits - Hits0);
+      Span.arg("cache_lookups", CacheLookups - Lookups0);
+    }
     return Result;
-  }
-  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
-  gcIfNeededImpl();
-  Bdd Result(this, iteRec(F.ref(), G.ref(), H.ref()));
-  if (Span.active()) {
-    Span.arg("result_nodes", nodeCount(Result));
-    Span.arg("cache_hits", CacheHits - Hits0);
-    Span.arg("cache_lookups", CacheLookups - Lookups0);
-  }
-  return Result;
+  });
 }
 
 //===----------------------------------------------------------------------===//
@@ -715,13 +1039,15 @@ Bdd Manager::cube(const std::vector<unsigned> &Vars) {
       Result = makeNode(Sorted[I], FalseRef, Result);
     return Bdd(this, Result);
   };
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
-    exclusiveProlog();
+  return governed([&] {
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      exclusiveProlog();
+      return Build();
+    }
+    gcIfNeededImpl();
     return Build();
-  }
-  gcIfNeededImpl();
-  return Build();
+  });
 }
 
 NodeRef Manager::existsRec(NodeRef F, NodeRef CubeBdd) {
@@ -754,27 +1080,39 @@ Bdd Manager::exists(const Bdd &F, const Bdd &CubeBdd) {
   obs::SpanGuard Span(obs::Cat::Bdd, "exists");
   if (Span.active())
     Span.arg("left_nodes", nodeCount(F));
-  if (ParMode) {
-    maybeGcShared();
-    Bdd Result;
-    {
-      std::shared_lock<std::shared_mutex> Lock(OpLock);
-      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-      Result = Bdd(this, Par->exists(F.ref(), CubeBdd.ref()));
+  return governed([&] {
+    if (ParMode) {
+      maybeGcShared();
+      Bdd Result;
+      bool Aborted = false;
+      uint32_t AbortKind = 0;
+      {
+        std::shared_lock<std::shared_mutex> Lock(OpLock);
+        ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+        NodeRef R = Par->exists(F.ref(), CubeBdd.ref());
+        if (R == NoNode || govAborted()) {
+          Aborted = true;
+          AbortKind = GovAbort.load(std::memory_order_acquire);
+        } else {
+          Result = Bdd(this, R);
+        }
+      }
+      if (Aborted)
+        throwResource(AbortKind);
+      if (Span.active())
+        Span.arg("result_nodes", nodeCount(Result));
+      return Result;
     }
-    if (Span.active())
+    size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
+    gcIfNeededImpl();
+    Bdd Result(this, existsRec(F.ref(), CubeBdd.ref()));
+    if (Span.active()) {
       Span.arg("result_nodes", nodeCount(Result));
+      Span.arg("cache_hits", CacheHits - Hits0);
+      Span.arg("cache_lookups", CacheLookups - Lookups0);
+    }
     return Result;
-  }
-  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
-  gcIfNeededImpl();
-  Bdd Result(this, existsRec(F.ref(), CubeBdd.ref()));
-  if (Span.active()) {
-    Span.arg("result_nodes", nodeCount(Result));
-    Span.arg("cache_hits", CacheHits - Hits0);
-    Span.arg("cache_lookups", CacheLookups - Lookups0);
-  }
-  return Result;
+  });
 }
 
 NodeRef Manager::relProdRec(NodeRef F, NodeRef G, NodeRef CubeBdd) {
@@ -823,27 +1161,39 @@ Bdd Manager::relProd(const Bdd &F, const Bdd &G, const Bdd &CubeBdd) {
     Span.arg("left_nodes", nodeCount(F));
     Span.arg("right_nodes", nodeCount(G));
   }
-  if (ParMode) {
-    maybeGcShared();
-    Bdd Result;
-    {
-      std::shared_lock<std::shared_mutex> Lock(OpLock);
-      ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
-      Result = Bdd(this, Par->relProd(F.ref(), G.ref(), CubeBdd.ref()));
+  return governed([&] {
+    if (ParMode) {
+      maybeGcShared();
+      Bdd Result;
+      bool Aborted = false;
+      uint32_t AbortKind = 0;
+      {
+        std::shared_lock<std::shared_mutex> Lock(OpLock);
+        ParallelOpsMT.fetch_add(1, std::memory_order_relaxed);
+        NodeRef R = Par->relProd(F.ref(), G.ref(), CubeBdd.ref());
+        if (R == NoNode || govAborted()) {
+          Aborted = true;
+          AbortKind = GovAbort.load(std::memory_order_acquire);
+        } else {
+          Result = Bdd(this, R);
+        }
+      }
+      if (Aborted)
+        throwResource(AbortKind);
+      if (Span.active())
+        Span.arg("result_nodes", nodeCount(Result));
+      return Result;
     }
-    if (Span.active())
+    size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
+    gcIfNeededImpl();
+    Bdd Result(this, relProdRec(F.ref(), G.ref(), CubeBdd.ref()));
+    if (Span.active()) {
       Span.arg("result_nodes", nodeCount(Result));
+      Span.arg("cache_hits", CacheHits - Hits0);
+      Span.arg("cache_lookups", CacheLookups - Lookups0);
+    }
     return Result;
-  }
-  size_t Hits0 = CacheHits, Lookups0 = CacheLookups;
-  gcIfNeededImpl();
-  Bdd Result(this, relProdRec(F.ref(), G.ref(), CubeBdd.ref()));
-  if (Span.active()) {
-    Span.arg("result_nodes", nodeCount(Result));
-    Span.arg("cache_hits", CacheHits - Hits0);
-    Span.arg("cache_lookups", CacheLookups - Lookups0);
-  }
-  return Result;
+  });
 }
 
 //===----------------------------------------------------------------------===//
@@ -897,17 +1247,19 @@ Bdd Manager::replace(const Bdd &F, const std::vector<int> &Map) {
   obs::SpanGuard Span(obs::Cat::Bdd, "replace");
   if (Span.active())
     Span.arg("left_nodes", nodeCount(F));
-  Bdd Result;
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
-    exclusiveProlog();
-    Result = replaceImpl(F, Map);
-  } else {
-    Result = replaceImpl(F, Map);
-  }
-  if (Span.active())
-    Span.arg("result_nodes", nodeCount(Result));
-  return Result;
+  return governed([&] {
+    Bdd Result;
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      exclusiveProlog();
+      Result = replaceImpl(F, Map);
+    } else {
+      Result = replaceImpl(F, Map);
+    }
+    if (Span.active())
+      Span.arg("result_nodes", nodeCount(Result));
+    return Result;
+  });
 }
 
 Bdd Manager::replaceImpl(const Bdd &F, const std::vector<int> &Map) {
@@ -1020,13 +1372,15 @@ NodeRef Manager::restrictRec(NodeRef F, unsigned Var, bool Value) {
 Bdd Manager::restrict(const Bdd &F, unsigned Var, bool Value) {
   assert(F.manager() == this && "operand belongs to another manager");
   assert(Var < TotalVars && "variable out of range");
-  if (ParMode) {
-    std::unique_lock<std::shared_mutex> Lock(OpLock);
-    exclusiveProlog();
+  return governed([&] {
+    if (ParMode) {
+      std::unique_lock<std::shared_mutex> Lock(OpLock);
+      exclusiveProlog();
+      return Bdd(this, restrictRec(F.ref(), Var, Value));
+    }
+    gcIfNeededImpl();
     return Bdd(this, restrictRec(F.ref(), Var, Value));
-  }
-  gcIfNeededImpl();
-  return Bdd(this, restrictRec(F.ref(), Var, Value));
+  });
 }
 
 //===----------------------------------------------------------------------===//

@@ -30,6 +30,7 @@
 #include "bdd/ParallelEngine.h"
 
 #include <algorithm>
+#include <new>
 
 using namespace jedd;
 using namespace jedd::bdd;
@@ -89,6 +90,8 @@ struct ParallelEngine::WorkerCtx {
   std::vector<Manager::CacheEntry> Cache;
   size_t CacheMask;
   std::vector<uint32_t> LocalFree;
+  /// Governor poll divider (deadline/cancel checks in the recursions).
+  uint32_t GovTick = 0;
 
   StatCounter CacheHits;
   StatCounter CacheLookups;
@@ -337,6 +340,8 @@ NodeRef ParallelEngine::makeNode(WorkerCtx &C, uint32_t Var, NodeRef Low,
       return N;
 
   uint32_t N = allocNode(C);
+  if (N == Manager::NoNode)
+    return Manager::NoNode; // Governor abort: no node to hand out.
   Manager::Node &Nd = M.Nodes[N];
   Nd.Var = Var;
   Nd.Low = Low;
@@ -352,8 +357,13 @@ NodeRef ParallelEngine::makeNode(WorkerCtx &C, uint32_t Var, NodeRef Low,
 }
 
 uint32_t ParallelEngine::allocNode(WorkerCtx &C) {
-  if (C.LocalFree.empty())
+  if (C.LocalFree.empty()) {
     refillLocalFree(C);
+    // The governor may refuse the refill (ceiling hit, injected or real
+    // allocation failure); the abort sentinel propagates outward.
+    if (C.LocalFree.empty())
+      return Manager::NoNode;
+  }
   uint32_t N = C.LocalFree.back();
   C.LocalFree.pop_back();
   return N;
@@ -362,13 +372,26 @@ uint32_t ParallelEngine::allocNode(WorkerCtx &C) {
 void ParallelEngine::refillLocalFree(WorkerCtx &C) {
   constexpr unsigned Batch = 64;
   std::lock_guard<std::mutex> L(M.FreeLock);
+  // Governor checkpoint: workers must not throw (the fork/join machinery
+  // has stack-allocated tasks in flight), so a trip raises the shared
+  // abort flag and the refill is denied.
+  if (M.GovEnabled) {
+    M.govCheckAllocMT();
+    if (M.govAborted())
+      return;
+  }
   if (M.FreeHead == Manager::NoNode) {
     // Global list exhausted mid-operation: grow. Chunked storage keeps
     // every existing node at its address, so concurrent readers are
     // unaffected; the bucket array is rehashed at the next exclusive
     // point instead of here.
     size_t Old = M.Nodes.size();
-    M.Nodes.growTo(Old * 2);
+    try {
+      M.Nodes.growTo(Old * 2);
+    } catch (const std::bad_alloc &) {
+      M.govRequestAbort(jedd::ResourceExhausted::Kind::AllocFailed);
+      return;
+    }
     for (size_t I = M.Nodes.size(); I-- > Old;) {
       M.Nodes[I].Var = Manager::VarFree;
       M.Nodes[I].Low = M.FreeHead;
@@ -398,17 +421,30 @@ NodeRef ParallelEngine::notRec(WorkerCtx &C, NodeRef F) {
     return TrueRef;
   if (F == TrueRef)
     return FalseRef;
+  if (M.GovEnabled && M.govAborted())
+    return Manager::NoNode;
   NodeRef Result;
   if (C.cacheLookup(Manager::TagNot, F, 0, 0, Result))
     return Result;
-  Result = makeNode(C, M.Nodes[F].Var, notRec(C, M.Nodes[F].Low),
-                    notRec(C, M.Nodes[F].High));
+  NodeRef Low = notRec(C, M.Nodes[F].Low);
+  NodeRef High = notRec(C, M.Nodes[F].High);
+  if (Low == Manager::NoNode || High == Manager::NoNode)
+    return Manager::NoNode;
+  Result = makeNode(C, M.Nodes[F].Var, Low, High);
+  if (Result == Manager::NoNode)
+    return Manager::NoNode; // Never cache the abort sentinel.
   C.cacheStore(Manager::TagNot, F, 0, 0, Result);
   return Result;
 }
 
 NodeRef ParallelEngine::applyRec(WorkerCtx &C, Op Operator, NodeRef F,
                                  NodeRef G, unsigned Depth) {
+  if (M.GovEnabled) {
+    if ((++C.GovTick & 1023) == 0)
+      M.govPollMT();
+    if (M.govAborted())
+      return Manager::NoNode;
+  }
   // Terminal rules per operator (kept in lockstep with the serial core).
   switch (Operator) {
   case Op::And:
@@ -502,13 +538,23 @@ NodeRef ParallelEngine::applyRec(WorkerCtx &C, Op Operator, NodeRef F,
     Low = applyRec(C, Operator, F0, G0, Depth + 1);
     High = applyRec(C, Operator, F1, G1, Depth + 1);
   }
+  if (Low == Manager::NoNode || High == Manager::NoNode)
+    return Manager::NoNode;
   Result = makeNode(C, M.LevelToVar[Lvl], Low, High);
+  if (Result == Manager::NoNode)
+    return Manager::NoNode;
   C.cacheStore(Tag, A, B, 0, Result);
   return Result;
 }
 
 NodeRef ParallelEngine::iteRec(WorkerCtx &C, NodeRef F, NodeRef G, NodeRef H,
                                unsigned Depth) {
+  if (M.GovEnabled) {
+    if ((++C.GovTick & 1023) == 0)
+      M.govPollMT();
+    if (M.govAborted())
+      return Manager::NoNode;
+  }
   if (F == TrueRef)
     return G;
   if (F == FalseRef)
@@ -546,13 +592,23 @@ NodeRef ParallelEngine::iteRec(WorkerCtx &C, NodeRef F, NodeRef G, NodeRef H,
     Low = iteRec(C, Cof(F, false), Cof(G, false), Cof(H, false), Depth + 1);
     High = iteRec(C, Cof(F, true), Cof(G, true), Cof(H, true), Depth + 1);
   }
+  if (Low == Manager::NoNode || High == Manager::NoNode)
+    return Manager::NoNode;
   Result = makeNode(C, M.LevelToVar[Lvl], Low, High);
+  if (Result == Manager::NoNode)
+    return Manager::NoNode;
   C.cacheStore(Manager::TagIte, F, G, H, Result);
   return Result;
 }
 
 NodeRef ParallelEngine::existsRec(WorkerCtx &C, NodeRef F, NodeRef CubeBdd,
                                   unsigned Depth) {
+  if (M.GovEnabled) {
+    if ((++C.GovTick & 1023) == 0)
+      M.govPollMT();
+    if (M.govAborted())
+      return Manager::NoNode;
+  }
   if (M.isTerminal(F))
     return F;
   while (!M.isTerminal(CubeBdd) && M.levelOfNode(CubeBdd) < M.levelOfNode(F))
@@ -579,16 +635,26 @@ NodeRef ParallelEngine::existsRec(WorkerCtx &C, NodeRef F, NodeRef CubeBdd,
     Low = existsRec(C, M.Nodes[F].Low, CubeBdd, Depth + 1);
     High = existsRec(C, M.Nodes[F].High, CubeBdd, Depth + 1);
   }
+  if (Low == Manager::NoNode || High == Manager::NoNode)
+    return Manager::NoNode;
   if (M.varOf(CubeBdd) == Var)
     Result = applyRec(C, Op::Or, Low, High, Depth + 1);
   else
     Result = makeNode(C, Var, Low, High);
+  if (Result == Manager::NoNode)
+    return Manager::NoNode;
   C.cacheStore(Manager::TagExists, F, CubeBdd, 0, Result);
   return Result;
 }
 
 NodeRef ParallelEngine::relProdRec(WorkerCtx &C, NodeRef F, NodeRef G,
                                    NodeRef CubeBdd, unsigned Depth) {
+  if (M.GovEnabled) {
+    if ((++C.GovTick & 1023) == 0)
+      M.govPollMT();
+    if (M.govAborted())
+      return Manager::NoNode;
+  }
   if (F == FalseRef || G == FalseRef)
     return FalseRef;
   if (F == TrueRef && G == TrueRef)
@@ -624,15 +690,21 @@ NodeRef ParallelEngine::relProdRec(WorkerCtx &C, NodeRef F, NodeRef G,
       fork(C, T);
       NodeRef Low = relProdRec(C, F0, G0, NextCube, Depth + 1);
       NodeRef High = join(C, T);
+      if (Low == Manager::NoNode || High == Manager::NoNode)
+        return Manager::NoNode;
       Result = applyRec(C, Op::Or, Low, High, Depth + 1);
     } else {
       NodeRef Low = relProdRec(C, F0, G0, NextCube, Depth + 1);
-      if (Low == TrueRef)
+      if (Low == Manager::NoNode)
+        return Manager::NoNode;
+      if (Low == TrueRef) {
         Result = TrueRef;
-      else
-        Result = applyRec(C, Op::Or, Low,
-                          relProdRec(C, F1, G1, NextCube, Depth + 1),
-                          Depth + 1);
+      } else {
+        NodeRef High = relProdRec(C, F1, G1, NextCube, Depth + 1);
+        if (High == Manager::NoNode)
+          return Manager::NoNode;
+        Result = applyRec(C, Op::Or, Low, High, Depth + 1);
+      }
     }
   } else {
     NodeRef Low, High;
@@ -650,8 +722,12 @@ NodeRef ParallelEngine::relProdRec(WorkerCtx &C, NodeRef F, NodeRef G,
       Low = relProdRec(C, F0, G0, CubeBdd, Depth + 1);
       High = relProdRec(C, F1, G1, CubeBdd, Depth + 1);
     }
+    if (Low == Manager::NoNode || High == Manager::NoNode)
+      return Manager::NoNode;
     Result = makeNode(C, M.LevelToVar[Lvl], Low, High);
   }
+  if (Result == Manager::NoNode)
+    return Manager::NoNode;
   C.cacheStore(Manager::TagRelProd, F, G, CubeBdd, Result);
   return Result;
 }

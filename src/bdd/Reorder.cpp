@@ -357,6 +357,17 @@ void Manager::reorderImpl(bool Force) {
   };
 
   for (size_t Id : SiftOrder) {
+    // Governor checkpoint between block sifts — the only points where a
+    // pass may stop: every swap is complete, so the truncated pass is a
+    // valid (if less optimal) order. A deadline/cancel trip raises the
+    // abort flag; the next operation boundary turns it into the typed
+    // error. No throw here: mid-reorder unwinding would strand the
+    // table mid-rewrite.
+    if (GovEnabled) {
+      govPollMT();
+      if (govAborted())
+        break;
+    }
     size_t Pos = 0;
     while (Layout[Pos].Id != Id)
       ++Pos;

@@ -35,6 +35,8 @@ const char *catName(Cat C) {
     return "sat";
   case Cat::Io:
     return "io";
+  case Cat::Resource:
+    return "resource";
   }
   return "?";
 }
@@ -256,6 +258,12 @@ void Tracer::record(SpanEvent &&Event) {
 void Tracer::counterAdd(const char *Name, uint64_t Delta) {
   std::lock_guard<std::mutex> G(I->StateLock);
   I->Counters[Name] += Delta;
+}
+
+void Tracer::counterMax(const char *Name, uint64_t Value) {
+  std::lock_guard<std::mutex> G(I->StateLock);
+  uint64_t &Slot = I->Counters[Name];
+  Slot = std::max(Slot, Value);
 }
 
 void Tracer::histRecord(const char *Name, uint64_t Value) {

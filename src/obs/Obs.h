@@ -49,7 +49,7 @@ namespace obs {
 
 /// Event categories; the Chrome-trace "cat" field and the prefix of the
 /// aggregated metrics key ("rel.join", "bdd.and", "gc.collect", ...).
-enum class Cat : uint8_t { Rel, Bdd, Gc, Reorder, Sat, Io };
+enum class Cat : uint8_t { Rel, Bdd, Gc, Reorder, Sat, Io, Resource };
 
 const char *catName(Cat C);
 
@@ -169,6 +169,9 @@ public:
 
   /// Named monotonic counter ("gc.runs", "obs.spans_dropped", ...).
   void counterAdd(const char *Name, uint64_t Delta = 1);
+  /// High-water-mark counter: keeps the maximum of all recorded values
+  /// ("resource.nodes_peak", "resource.bytes_peak", ...).
+  void counterMax(const char *Name, uint64_t Value);
   /// Records one sample into the named log2-bucket histogram.
   void histRecord(const char *Name, uint64_t Value);
 

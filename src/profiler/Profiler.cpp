@@ -57,6 +57,19 @@ void Profiler::observe(const bdd::ManagerStats &S) {
     Snap.Micros = S.ReorderMicros;
     Reorder = Snap;
   }
+  if (S.LimitMaxNodes || S.LimitMaxBytes || S.ResourceAborts ||
+      S.ResourceEscalations) {
+    ResourceSnapshot Snap;
+    Snap.Enabled = true;
+    Snap.LimitMaxNodes = S.LimitMaxNodes;
+    Snap.LimitMaxBytes = S.LimitMaxBytes;
+    Snap.NodesPeak = S.NodesPeak;
+    Snap.BytesPeak = S.BytesPeak;
+    Snap.Aborts = S.ResourceAborts;
+    Snap.Recoveries = S.ResourceRecoveries;
+    Snap.Escalations = S.ResourceEscalations;
+    Resource = Snap;
+  }
 }
 
 void Profiler::clear() {
@@ -64,6 +77,7 @@ void Profiler::clear() {
   Records.clear();
   Parallel = ParallelSnapshot();
   Reorder = ReorderSnapshot();
+  Resource = ResourceSnapshot();
 }
 
 std::vector<OpSummary> Profiler::summarize() const {
@@ -147,11 +161,13 @@ std::string Profiler::renderHtml() const {
   std::vector<OpRecord> RecordsCopy;
   ParallelSnapshot ParallelCopy;
   ReorderSnapshot ReorderCopy;
+  ResourceSnapshot ResourceCopy;
   {
     std::lock_guard<std::mutex> G(Lock);
     RecordsCopy = Records;
     ParallelCopy = Parallel;
     ReorderCopy = Reorder;
+    ResourceCopy = Resource;
   }
 
   // Overall view.
@@ -223,6 +239,29 @@ std::string Profiler::renderHtml() const {
         ReorderCopy.Runs, ReorderCopy.BlockMoves, ReorderCopy.Swaps,
         ReorderCopy.NodesBefore, ReorderCopy.NodesAfter, Shrink,
         static_cast<unsigned long long>(ReorderCopy.Micros));
+  }
+
+  // Resource governance, when ceilings were configured or tripped
+  // (docs/robustness.md explains the governor and these counters).
+  if (ResourceCopy.Enabled) {
+    std::string Limits;
+    if (ResourceCopy.LimitMaxNodes)
+      Limits += strFormat("max-nodes %zu", ResourceCopy.LimitMaxNodes);
+    if (ResourceCopy.LimitMaxBytes) {
+      if (!Limits.empty())
+        Limits += ", ";
+      Limits += strFormat("max-bytes %zu", ResourceCopy.LimitMaxBytes);
+    }
+    if (Limits.empty())
+      Limits = "none";
+    Html += strFormat(
+        "<h2>Resource governance</h2>"
+        "<p>ceilings: %s &middot; peak %zu nodes / %zu bytes &middot; "
+        "%zu aborted operations, %zu recoveries, %zu pressure "
+        "escalations</p>",
+        Limits.c_str(), ResourceCopy.NodesPeak, ResourceCopy.BytesPeak,
+        ResourceCopy.Aborts, ResourceCopy.Recoveries,
+        ResourceCopy.Escalations);
   }
 
   // Detailed view.

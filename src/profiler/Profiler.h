@@ -103,6 +103,21 @@ struct ReorderSnapshot {
   uint64_t Micros = 0;    ///< Total time spent reordering.
 };
 
+/// Snapshot of a BDD manager's resource-governor counters
+/// (docs/robustness.md), filled by observe() from bdd::ManagerStats.
+/// Enabled == false means no ceilings were configured and nothing
+/// tripped, so the section is omitted.
+struct ResourceSnapshot {
+  bool Enabled = false;
+  size_t LimitMaxNodes = 0; ///< Node ceiling (0 = unlimited).
+  size_t LimitMaxBytes = 0; ///< Approximate heap-byte ceiling (0 = unlimited).
+  size_t NodesPeak = 0;     ///< High-water allocated-node count.
+  size_t BytesPeak = 0;     ///< High-water approximate heap bytes.
+  size_t Aborts = 0;        ///< Operations aborted by the governor.
+  size_t Recoveries = 0;    ///< Successful GC + cache-flush recoveries.
+  size_t Escalations = 0;   ///< Pressure escalations (forced GC/reorder).
+};
+
 /// Aggregated view of all executions of one (kind, site) operation —
 /// the "overall profile view" of Section 4.3.
 struct OpSummary {
@@ -150,6 +165,7 @@ public:
 
   const ParallelSnapshot &parallel() const { return Parallel; }
   const ReorderSnapshot &reorder() const { return Reorder; }
+  const ResourceSnapshot &resource() const { return Resource; }
 
   /// Per-(kind, site) aggregation, sorted by total time descending.
   std::vector<OpSummary> summarize() const;
@@ -168,6 +184,7 @@ private:
   std::vector<OpRecord> Records;
   ParallelSnapshot Parallel;
   ReorderSnapshot Reorder;
+  ResourceSnapshot Resource;
 };
 
 } // namespace prof

@@ -66,7 +66,7 @@ PhysDomId Relation::physOf(AttributeId Attr) const {
   for (const AttrBinding &B : Schema)
     if (B.Attr == Attr)
       return B.Phys;
-  fatalError("relation has no attribute '" + U->attributeName(Attr) + "'");
+  checkFailed("relation has no attribute '" + U->attributeName(Attr) + "'");
 }
 
 bool Relation::hasAttribute(AttributeId Attr) const {
@@ -96,16 +96,17 @@ unsigned Relation::schemaBits() const {
 //===----------------------------------------------------------------------===//
 
 Relation Relation::alignedToThis(const Relation &Other, Site At) const {
-  JEDD_CHECK(U && Other.U, "operation on an invalid relation");
-  JEDD_CHECK(U == Other.U, "relations belong to different universes");
-  JEDD_CHECK(Schema.size() == Other.Schema.size(),
-             "operands have different schemas");
+  JEDD_CHECK_AT(U && Other.U, "operation on an invalid relation", At);
+  JEDD_CHECK_AT(U == Other.U, "relations belong to different universes", At);
+  JEDD_CHECK_AT(Schema.size() == Other.Schema.size(),
+                "operands have different schemas", At);
   std::vector<std::pair<PhysDomId, PhysDomId>> Moves;
   for (const AttrBinding &B : Schema) {
     // Schemas are unordered sets of attributes; match by attribute.
-    JEDD_CHECK(Other.hasAttribute(B.Attr),
-               "operands have different schemas: right operand lacks '" +
-                   U->attributeName(B.Attr) + "'");
+    JEDD_CHECK_AT(Other.hasAttribute(B.Attr),
+                  "operands have different schemas: right operand lacks '" +
+                      U->attributeName(B.Attr) + "'",
+                  At);
     PhysDomId OtherPhys = Other.physOf(B.Attr);
     if (B.Phys != OtherPhys)
       Moves.push_back({OtherPhys, B.Phys});
@@ -180,7 +181,7 @@ bool Relation::operator==(const Relation &Other) const {
 
 Relation Relation::project(const std::vector<AttributeId> &Remove,
                            Site At) const {
-  JEDD_CHECK(U, "operation on an invalid relation");
+  JEDD_CHECK_AT(U, "operation on an invalid relation", At);
   std::vector<PhysDomId> Quantified;
   std::vector<AttrBinding> NewSchema;
   for (const AttrBinding &B : Schema) {
@@ -189,8 +190,8 @@ Relation Relation::project(const std::vector<AttributeId> &Remove,
     else
       NewSchema.push_back(B);
   }
-  JEDD_CHECK(Quantified.size() == Remove.size(),
-             "projection of an attribute the relation does not have");
+  JEDD_CHECK_AT(Quantified.size() == Remove.size(),
+                "projection of an attribute the relation does not have", At);
   OpSpan Span(U, "project", At);
   Span.operand(*this);
   Relation Result(U, std::move(NewSchema),
@@ -209,15 +210,17 @@ Relation Relation::projectTo(const std::vector<AttributeId> &Keep,
 }
 
 Relation Relation::rename(AttributeId From, AttributeId To, Site At) const {
-  (void)At;
-  JEDD_CHECK(U, "operation on an invalid relation");
-  JEDD_CHECK(hasAttribute(From), "rename source '" +
-                                     U->attributeName(From) +
-                                     "' not in the relation");
-  JEDD_CHECK(!hasAttribute(To), "rename target '" + U->attributeName(To) +
-                                    "' already in the relation");
-  JEDD_CHECK(U->attributeDomain(From) == U->attributeDomain(To),
-             "rename between attributes of different domains");
+  JEDD_CHECK_AT(U, "operation on an invalid relation", At);
+  JEDD_CHECK_AT(hasAttribute(From),
+                "rename source '" + U->attributeName(From) +
+                    "' not in the relation",
+                At);
+  JEDD_CHECK_AT(!hasAttribute(To),
+                "rename target '" + U->attributeName(To) +
+                    "' already in the relation",
+                At);
+  JEDD_CHECK_AT(U->attributeDomain(From) == U->attributeDomain(To),
+                "rename between attributes of different domains", At);
   // No BDD change: only the attribute-to-physical-domain map is updated
   // (Section 3.2.2).
   std::vector<AttrBinding> NewSchema;
@@ -228,21 +231,25 @@ Relation Relation::rename(AttributeId From, AttributeId To, Site At) const {
 
 Relation Relation::copy(AttributeId From, AttributeId NewAttr,
                         PhysDomId PhysForNew, Site At) const {
-  JEDD_CHECK(U, "operation on an invalid relation");
-  JEDD_CHECK(hasAttribute(From), "copy source '" + U->attributeName(From) +
-                                     "' not in the relation");
-  JEDD_CHECK(!hasAttribute(NewAttr), "copy target '" +
-                                         U->attributeName(NewAttr) +
-                                         "' already in the relation");
-  JEDD_CHECK(U->attributeDomain(From) == U->attributeDomain(NewAttr),
-             "copy between attributes of different domains");
+  JEDD_CHECK_AT(U, "operation on an invalid relation", At);
+  JEDD_CHECK_AT(hasAttribute(From),
+                "copy source '" + U->attributeName(From) +
+                    "' not in the relation",
+                At);
+  JEDD_CHECK_AT(!hasAttribute(NewAttr),
+                "copy target '" + U->attributeName(NewAttr) +
+                    "' already in the relation",
+                At);
+  JEDD_CHECK_AT(U->attributeDomain(From) == U->attributeDomain(NewAttr),
+                "copy between attributes of different domains", At);
   if (PhysForNew == NoPhysDom)
     PhysForNew = U->pickFreePhysDom(NewAttr, schemaPhysDoms());
-  JEDD_CHECK(U->fits(NewAttr, PhysForNew),
-             "copy target physical domain too narrow");
+  JEDD_CHECK_AT(U->fits(NewAttr, PhysForNew),
+                "copy target physical domain too narrow", At);
   for (const AttrBinding &B : Schema)
-    JEDD_CHECK(B.Phys != PhysForNew,
-               "copy target physical domain already used by the relation");
+    JEDD_CHECK_AT(B.Phys != PhysForNew,
+                  "copy target physical domain already used by the relation",
+                  At);
 
   OpSpan Span(U, "copy", At);
   Span.operand(*this);
@@ -263,30 +270,33 @@ Relation Relation::prepareForMerge(const Relation &Other,
                                    const std::vector<AttributeId> &RightAttrs,
                                    std::vector<AttrBinding> &OtherKept,
                                    bool DropLeftCompared, Site At) const {
-  JEDD_CHECK(U && Other.U, "operation on an invalid relation");
-  JEDD_CHECK(U == Other.U, "relations belong to different universes");
-  JEDD_CHECK(LeftAttrs.size() == RightAttrs.size(),
-             "join/compose attribute lists differ in length");
+  JEDD_CHECK_AT(U && Other.U, "operation on an invalid relation", At);
+  JEDD_CHECK_AT(U == Other.U, "relations belong to different universes", At);
+  JEDD_CHECK_AT(LeftAttrs.size() == RightAttrs.size(),
+                "join/compose attribute lists differ in length", At);
 
   // Figure 6 checks, dynamically: compared attributes exist and are
   // pairwise distinct; the result has no duplicate attribute.
   for (size_t I = 0; I != LeftAttrs.size(); ++I) {
-    JEDD_CHECK(hasAttribute(LeftAttrs[I]),
-               "left operand lacks compared attribute '" +
-                   U->attributeName(LeftAttrs[I]) + "'");
-    JEDD_CHECK(Other.hasAttribute(RightAttrs[I]),
-               "right operand lacks compared attribute '" +
-                   U->attributeName(RightAttrs[I]) + "'");
-    JEDD_CHECK(U->attributeDomain(LeftAttrs[I]) ==
-                   U->attributeDomain(RightAttrs[I]),
-               "compared attributes '" + U->attributeName(LeftAttrs[I]) +
-                   "' and '" + U->attributeName(RightAttrs[I]) +
-                   "' draw from different domains");
+    JEDD_CHECK_AT(hasAttribute(LeftAttrs[I]),
+                  "left operand lacks compared attribute '" +
+                      U->attributeName(LeftAttrs[I]) + "'",
+                  At);
+    JEDD_CHECK_AT(Other.hasAttribute(RightAttrs[I]),
+                  "right operand lacks compared attribute '" +
+                      U->attributeName(RightAttrs[I]) + "'",
+                  At);
+    JEDD_CHECK_AT(U->attributeDomain(LeftAttrs[I]) ==
+                      U->attributeDomain(RightAttrs[I]),
+                  "compared attributes '" + U->attributeName(LeftAttrs[I]) +
+                      "' and '" + U->attributeName(RightAttrs[I]) +
+                      "' draw from different domains",
+                  At);
     for (size_t K = 0; K != I; ++K) {
-      JEDD_CHECK(LeftAttrs[K] != LeftAttrs[I],
-                 "attribute compared twice on the left");
-      JEDD_CHECK(RightAttrs[K] != RightAttrs[I],
-                 "attribute compared twice on the right");
+      JEDD_CHECK_AT(LeftAttrs[K] != LeftAttrs[I],
+                    "attribute compared twice on the left", At);
+      JEDD_CHECK_AT(RightAttrs[K] != RightAttrs[I],
+                    "attribute compared twice on the right", At);
     }
   }
   for (const AttrBinding &B : Other.Schema) {
@@ -299,9 +309,10 @@ Relation Relation::prepareForMerge(const Relation &Other,
         !(DropLeftCompared &&
           std::find(LeftAttrs.begin(), LeftAttrs.end(), B.Attr) !=
               LeftAttrs.end());
-    JEDD_CHECK(Compared || !InLeftResult,
-               "result would contain attribute '" +
-                   U->attributeName(B.Attr) + "' twice");
+    JEDD_CHECK_AT(Compared || !InLeftResult,
+                  "result would contain attribute '" +
+                      U->attributeName(B.Attr) + "' twice",
+                  At);
   }
 
   // Decide the final physical domain of every right-hand attribute.

@@ -88,21 +88,21 @@ DomainId Universe::domain(const std::string &Name) const {
   for (size_t I = 0; I != Doms.size(); ++I)
     if (Doms[I].Name == Name)
       return static_cast<DomainId>(I);
-  fatalError("unknown domain '" + Name + "'");
+  checkFailed("unknown domain '" + Name + "'");
 }
 
 AttributeId Universe::attribute(const std::string &Name) const {
   for (size_t I = 0; I != Attrs.size(); ++I)
     if (Attrs[I].Name == Name)
       return static_cast<AttributeId>(I);
-  fatalError("unknown attribute '" + Name + "'");
+  checkFailed("unknown attribute '" + Name + "'");
 }
 
 PhysDomId Universe::physical(const std::string &Name) const {
   for (size_t I = 0; I != PhysNames.size(); ++I)
     if (PhysNames[I] == Name)
       return static_cast<PhysDomId>(I);
-  fatalError("unknown physical domain '" + Name + "'");
+  checkFailed("unknown physical domain '" + Name + "'");
 }
 
 bool Universe::fits(AttributeId Attr, PhysDomId Phys) const {
@@ -127,7 +127,7 @@ Universe::pickFreePhysDom(AttributeId Attr,
   }
   if (Best != NoPhysDom)
     return Best;
-  fatalError("no free physical domain fits attribute '" +
+  checkFailed("no free physical domain fits attribute '" +
              Attrs[Attr].Name +
              "'; declare another physical domain of at least " +
              strFormat("%u", bitsForSize(Doms[Attrs[Attr].Dom].Size)) +

@@ -29,6 +29,7 @@
 #include "bdd/DomainPack.h"
 #include "util/Random.h"
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,19 @@ public:
     return *PackPtr;
   }
   bdd::Manager &manager() { return pack().manager(); }
+
+  /// Installs resource ceilings and a cancellation token on the shared
+  /// BDD manager (docs/robustness.md). Only after finalize().
+  void setResourceLimits(const bdd::ResourceLimits &Limits) {
+    manager().setResourceLimits(Limits);
+  }
+  /// Points the manager's governor at \p Cancel (kept alive by the
+  /// caller); storing true there aborts the current operation.
+  void setCancelFlag(const std::atomic<bool> *Cancel) {
+    bdd::ResourceLimits Limits = manager().resourceLimits();
+    Limits.Cancel = Cancel;
+    manager().setResourceLimits(Limits);
+  }
 
   /// Checks that \p Phys is wide enough for \p Attr's domain.
   bool fits(AttributeId Attr, PhysDomId Phys) const;

@@ -171,7 +171,7 @@ GeneratorParams jedd::soot::benchmarkPreset(const std::string &Name) {
     Params.NumClasses = 30;
     Params.NumSignatures = 22;
   } else {
-    fatalError("unknown benchmark preset '" + Name + "'");
+    checkFailed("unknown benchmark preset '" + Name + "'");
   }
   return Params;
 }

@@ -1,0 +1,99 @@
+//===- Error.h - Typed recoverable errors -----------------------*- C++ -*-===//
+//
+// Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
+// "Jedd: A BDD-based Relational Extension of Java".
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two recoverable error categories of docs/robustness.md:
+///
+///   * UsageError — a caller violated an API contract the runtime checks
+///     dynamically (Jedd's "properties that cannot be checked statically
+///     are enforced by runtime checks", Section 1). Carries the rel::Site
+///     attribution of the failing operation when one is available.
+///
+///   * ResourceExhausted — a resource governor limit tripped (node or
+///     byte ceiling, wall-clock deadline, cancellation) or a real
+///     allocation failure was intercepted. The operation that tripped it
+///     has been rolled back: the manager ran its GC + cache-flush
+///     recovery and every pre-existing handle is still valid.
+///
+/// Both derive from std::runtime_error so generic catch sites work; the
+/// tools map them to distinct exit codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JEDDPP_UTIL_ERROR_H
+#define JEDDPP_UTIL_ERROR_H
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace jedd {
+
+/// A dynamic API-contract violation (schema mismatch, value out of
+/// domain range, declaration after finalize, ...).
+class UsageError : public std::runtime_error {
+public:
+  explicit UsageError(const std::string &Message)
+      : std::runtime_error(Message) {}
+  UsageError(const std::string &Message, std::string SiteLabel,
+             std::string SiteFile, uint32_t SiteLine)
+      : std::runtime_error(Message), SiteLabel(std::move(SiteLabel)),
+        SiteFile(std::move(SiteFile)), SiteLine(SiteLine) {}
+
+  /// Attribution of the failing relational operation ("" = none).
+  std::string SiteLabel;
+  std::string SiteFile;
+  uint32_t SiteLine = 0;
+};
+
+/// A resource-governor limit tripped (or a real allocation failed). The
+/// aborted operation unwound cleanly; the issuing manager/solver is
+/// usable again and observably in its pre-operation state.
+class ResourceExhausted : public std::runtime_error {
+public:
+  enum class Kind : uint32_t {
+    Nodes,         ///< Live-node ceiling (ResourceLimits::MaxNodes).
+    Bytes,         ///< Heap-byte ceiling (ResourceLimits::MaxBytes).
+    Deadline,      ///< Wall-clock deadline passed.
+    Cancelled,     ///< Cooperative cancellation token was set.
+    AllocFailed,   ///< std::bad_alloc intercepted (or injected).
+    FaultInjected, ///< JEDDPP_FAULT_INJECT forced a trip at an op boundary.
+  };
+
+  ResourceExhausted(Kind K, const std::string &Message, size_t NodesPeak = 0,
+                    size_t BytesPeak = 0)
+      : std::runtime_error(Message), What(K), NodesPeak(NodesPeak),
+        BytesPeak(BytesPeak) {}
+
+  Kind What;
+  size_t NodesPeak;  ///< Peak live nodes observed by the governor.
+  size_t BytesPeak;  ///< Peak heap bytes observed by the governor.
+};
+
+/// Human-readable name of a trip kind ("nodes", "deadline", ...).
+inline const char *resourceKindName(ResourceExhausted::Kind K) {
+  switch (K) {
+  case ResourceExhausted::Kind::Nodes:
+    return "nodes";
+  case ResourceExhausted::Kind::Bytes:
+    return "bytes";
+  case ResourceExhausted::Kind::Deadline:
+    return "deadline";
+  case ResourceExhausted::Kind::Cancelled:
+    return "cancelled";
+  case ResourceExhausted::Kind::AllocFailed:
+    return "alloc";
+  case ResourceExhausted::Kind::FaultInjected:
+    return "fault-injected";
+  }
+  return "?";
+}
+
+} // namespace jedd
+
+#endif // JEDDPP_UTIL_ERROR_H

@@ -1,4 +1,4 @@
-//===- Fatal.cpp - Fatal runtime error reporting --------------------------===//
+//===- Fatal.cpp - Runtime check reporting --------------------------------===//
 //
 // Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
 // "Jedd: A BDD-based Relational Extension of Java".
@@ -6,12 +6,48 @@
 //===----------------------------------------------------------------------===//
 
 #include "util/Fatal.h"
+#include "util/Error.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 void jedd::fatalError(const std::string &Message) {
   std::fprintf(stderr, "jedd fatal error: %s\n", Message.c_str());
   std::fflush(stderr);
   std::abort();
+}
+
+// Checks fail rarely, so the environment is consulted on every failure;
+// this keeps the escape hatch effective even in forked death-test
+// children that set it after the parent initialized.
+static bool checksAreFatal() {
+  const char *Mode = std::getenv("JEDDPP_CHECKS");
+  return Mode && std::strcmp(Mode, "fatal") == 0;
+}
+
+void jedd::checkFailed(const std::string &Message) {
+  if (checksAreFatal())
+    fatalError(Message);
+  throw UsageError(Message);
+}
+
+void jedd::checkFailed(const std::string &Message, const char *SiteLabel,
+                       const char *SiteFile, uint32_t SiteLine) {
+  if (checksAreFatal())
+    fatalError(Message);
+  std::string Full = Message;
+  if (SiteLabel && SiteLabel[0]) {
+    Full += " (at ";
+    Full += SiteLabel;
+    if (SiteFile && SiteFile[0]) {
+      Full += ", ";
+      Full += SiteFile;
+      Full += ":";
+      Full += std::to_string(SiteLine);
+    }
+    Full += ")";
+  }
+  throw UsageError(Full, SiteLabel ? SiteLabel : "",
+                   SiteFile ? SiteFile : "", SiteLine);
 }

@@ -1,4 +1,4 @@
-//===- Fatal.h - Fatal runtime error reporting ------------------*- C++ -*-===//
+//===- Fatal.h - Runtime check reporting ------------------------*- C++ -*-===//
 //
 // Part of jeddpp, a C++ reproduction of the PLDI 2004 paper
 // "Jedd: A BDD-based Relational Extension of Java".
@@ -8,14 +8,18 @@
 /// \file
 /// The runtime check mechanism backing Jedd's dynamic type checking:
 /// "properties that cannot be checked statically are enforced by runtime
-/// checks" (Section 1). The project builds without exceptions, so a
-/// failed check reports and aborts, like LLVM's report_fatal_error.
+/// checks" (Section 1). A failed check throws jedd::UsageError so
+/// embedding applications can catch, report and continue; setting
+/// JEDDPP_CHECKS=fatal in the environment restores the historical
+/// report-and-abort behavior (useful under debuggers and in death
+/// tests). fatalError remains for genuinely unrecoverable conditions.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef JEDDPP_UTIL_FATAL_H
 #define JEDDPP_UTIL_FATAL_H
 
+#include <cstdint>
 #include <string>
 
 namespace jedd {
@@ -23,13 +27,32 @@ namespace jedd {
 /// Prints "jedd fatal error: <message>" to stderr and aborts.
 [[noreturn]] void fatalError(const std::string &Message);
 
+/// Reports a failed runtime check: throws jedd::UsageError, or aborts
+/// via fatalError when JEDDPP_CHECKS=fatal is set in the environment.
+[[noreturn]] void checkFailed(const std::string &Message);
+
+/// As checkFailed, attributing the failure to a relational call site
+/// (the fields of a rel::Site).
+[[noreturn]] void checkFailed(const std::string &Message,
+                              const char *SiteLabel, const char *SiteFile,
+                              uint32_t SiteLine);
+
 } // namespace jedd
 
 /// Runtime-enforced invariant; active in all build modes.
 #define JEDD_CHECK(Cond, Message)                                             \
   do {                                                                        \
     if (!(Cond))                                                              \
-      ::jedd::fatalError(Message);                                            \
+      ::jedd::checkFailed(Message);                                           \
+  } while (false)
+
+/// JEDD_CHECK with a rel::Site (or anything with Label/File/Line
+/// members) attributing the failure to the relational call site.
+#define JEDD_CHECK_AT(Cond, Message, Site)                                    \
+  do {                                                                        \
+    if (!(Cond))                                                              \
+      ::jedd::checkFailed((Message), (Site).Label, (Site).File,               \
+                          (Site).Line);                                       \
   } while (false)
 
 #endif // JEDDPP_UTIL_FATAL_H

@@ -17,6 +17,7 @@
 #include "analysis/Checkpoint.h"
 #include "obs/Obs.h"
 #include "soot/Generator.h"
+#include "util/Error.h"
 #include "util/Json.h"
 
 #include <gtest/gtest.h>
@@ -455,6 +456,85 @@ TEST(Checkpoint, ChangedFactsForceRecompute) {
   Warm.run();
   for (const CheckpointedAnalysis::StageStatus &St : Warm.stages())
     EXPECT_TRUE(St.WarmStarted) << St.Name << ": " << St.Note;
+}
+
+// The graceful-degradation contract of docs/robustness.md, end to end:
+// a run under a too-small node budget aborts with ResourceExhausted,
+// records which stage died, and leaves every completed stage's
+// checkpoint valid on disk — so a rerun with the budget lifted
+// warm-starts the finished prefix and only computes the rest.
+TEST(Checkpoint, ResourceAbortLeavesResumableCheckpoints) {
+  soot::GeneratorParams Params;
+  Params.NumClasses = 10;
+  Params.Seed = 21;
+  Program P = soot::generateProgram(Params);
+  std::string Dir = ::testing::TempDir() + "jeddpp_ckpt_abort";
+  wipeCheckpointDir(Dir);
+
+  // Reference run; also measures the live-node footprint after the
+  // (small) hierarchy stage and at the end, so the abort budget can be
+  // picked between the two: enough for the early stages, and below the
+  // live working set of the later ones — which no amount of GC or
+  // reordering can squeeze under the ceiling, so the abort is certain.
+  size_t LiveAfterHierarchy, LiveFinal;
+  bdd::SatCount PtSize, CgSize, WriteSize;
+  std::set<Id> Reachable;
+  {
+    AnalysisUniverse AU(P);
+    Hierarchy H(AU);
+    LiveAfterHierarchy = AU.U.manager().stats().LiveNodes;
+    WholeProgramAnalysis WPA(AU);
+    WPA.run();
+    LiveFinal = AU.U.manager().stats().LiveNodes;
+    PtSize = WPA.PTA.Pt.sizeExact();
+    CgSize = WPA.CGB.Cg.sizeExact();
+    WriteSize = WPA.SEA->TotalWrite.sizeExact();
+    Reachable = WPA.CGB.reachableMethods();
+  }
+  ASSERT_LT(LiveAfterHierarchy, LiveFinal);
+
+  bdd::ResourceLimits Limits;
+  Limits.MaxNodes = LiveAfterHierarchy + (LiveFinal - LiveAfterHierarchy) / 2;
+  {
+    AnalysisUniverse AU(P, bdd::BitOrder::Interleaved, {}, Limits);
+    CheckpointedAnalysis Aborted(AU, Dir);
+    EXPECT_THROW(Aborted.run(), ResourceExhausted);
+
+    // The aborted stage is recorded, and everything before it was
+    // computed and checkpointed before the budget tripped.
+    ASSERT_FALSE(Aborted.stages().empty());
+    const CheckpointedAnalysis::StageStatus &Last = Aborted.stages().back();
+    EXPECT_TRUE(Last.Aborted) << Last.Name << ": " << Last.Note;
+    EXPECT_NE(Last.Note.find("aborted"), std::string::npos) << Last.Note;
+    ASSERT_GE(Aborted.stages().size(), 2u)
+        << "budget tripped before any stage completed";
+    for (size_t I = 0; I + 1 != Aborted.stages().size(); ++I) {
+      const CheckpointedAnalysis::StageStatus &St = Aborted.stages()[I];
+      EXPECT_TRUE(St.Saved) << St.Name << ": " << St.Note;
+      EXPECT_FALSE(St.Aborted) << St.Name;
+    }
+    const bdd::ManagerStats S = AU.U.manager().stats();
+    EXPECT_GE(S.ResourceAborts, size_t(1));
+    EXPECT_GE(S.NodesPeak, Limits.MaxNodes);
+  }
+
+  // Rerun with the budget lifted: the completed prefix warm-starts from
+  // the checkpoints the aborted run left behind (proving they are
+  // valid), the rest is computed, and the results match the reference.
+  AnalysisUniverse AU(P);
+  CheckpointedAnalysis Resumed(AU, Dir);
+  Resumed.run();
+  int WarmStages = 0;
+  for (const CheckpointedAnalysis::StageStatus &St : Resumed.stages()) {
+    EXPECT_FALSE(St.Aborted) << St.Name << ": " << St.Note;
+    WarmStages += St.WarmStarted ? 1 : 0;
+  }
+  EXPECT_GE(WarmStages, 1)
+      << "resume recomputed everything — aborted run left no usable prefix";
+  EXPECT_EQ(Resumed.PTA->Pt.sizeExact(), PtSize);
+  EXPECT_EQ(Resumed.CGB->Cg.sizeExact(), CgSize);
+  EXPECT_EQ(Resumed.SEA->TotalWrite.sizeExact(), WriteSize);
+  EXPECT_EQ(Resumed.CGB->reachableMethods(), Reachable);
 }
 
 TEST(Checkpoint, EmptyDirectoryMatchesWholeProgramAnalysis) {

@@ -8,7 +8,9 @@
 /// \file
 /// "Properties that cannot be checked statically are enforced by runtime
 /// checks" (Section 1). These tests pin down the runtime checks of the
-/// relational layer (via death tests) and a collection of boundary
+/// relational layer — a failed check throws jedd::UsageError so
+/// embedders can catch and continue, with JEDDPP_CHECKS=fatal restoring
+/// report-and-abort (docs/robustness.md) — plus a collection of boundary
 /// behaviours across modules.
 ///
 //===----------------------------------------------------------------------===//
@@ -16,14 +18,30 @@
 #include "jedd/Driver.h"
 #include "rel/Relation.h"
 #include "sat/Solver.h"
+#include "util/Error.h"
 #include "util/Random.h"
 
 #include <gtest/gtest.h>
+
+#include <cstdlib>
 
 using namespace jedd;
 using namespace jedd::rel;
 
 namespace {
+
+/// Runs \p Body expecting a jedd::UsageError whose message contains
+/// \p Sub.
+template <typename Fn>
+void expectUsageError(Fn &&Body, const std::string &Sub) {
+  try {
+    Body();
+    FAIL() << "expected jedd::UsageError containing '" << Sub << "'";
+  } catch (const UsageError &E) {
+    EXPECT_NE(std::string(E.what()).find(Sub), std::string::npos)
+        << "actual message: " << E.what();
+  }
+}
 
 /// Fixture with a small universe for the death tests.
 class RuntimeChecksTest : public ::testing::Test {
@@ -45,50 +63,83 @@ protected:
   PhysDomId P0, P1;
 };
 
-using RuntimeChecksDeathTest = RuntimeChecksTest;
-
-TEST_F(RuntimeChecksDeathTest, DuplicateAttributeInSchema) {
-  EXPECT_DEATH(U.empty({{A, P0}, {A, P1}}), "duplicate attribute");
+TEST_F(RuntimeChecksTest, DuplicateAttributeInSchema) {
+  expectUsageError([&] { U.empty({{A, P0}, {A, P1}}); },
+                   "duplicate attribute");
 }
 
-TEST_F(RuntimeChecksDeathTest, SharedPhysicalDomainInSchema) {
-  EXPECT_DEATH(U.empty({{A, P0}, {B, P0}}), "share physical domain");
+TEST_F(RuntimeChecksTest, SharedPhysicalDomainInSchema) {
+  expectUsageError([&] { U.empty({{A, P0}, {B, P0}}); },
+                   "share physical domain");
 }
 
-TEST_F(RuntimeChecksDeathTest, SetOpOnDifferentSchemas) {
+TEST_F(RuntimeChecksTest, SetOpOnDifferentSchemas) {
   Relation RA = U.empty({{A, P0}});
   Relation RB = U.empty({{B, P0}});
-  EXPECT_DEATH((void)(RA | RB), "different schemas");
+  expectUsageError([&] { (void)(RA | RB); }, "different schemas");
 }
 
-TEST_F(RuntimeChecksDeathTest, ValueOutOfDomainRange) {
+TEST_F(RuntimeChecksTest, ValueOutOfDomainRange) {
   Relation RA = U.empty({{C, P0}}); // Domain E holds 4 objects.
-  EXPECT_DEATH(RA.insert({7}), "out of domain range");
+  expectUsageError([&] { RA.insert({7}); }, "out of domain range");
 }
 
-TEST_F(RuntimeChecksDeathTest, ArityMismatch) {
+TEST_F(RuntimeChecksTest, ArityMismatch) {
   Relation RA = U.empty({{A, P0}, {B, P1}});
-  EXPECT_DEATH(RA.insert({1}), "arity");
+  expectUsageError([&] { RA.insert({1}); }, "arity");
 }
 
-TEST_F(RuntimeChecksDeathTest, RenameAcrossDomains) {
+TEST_F(RuntimeChecksTest, RenameAcrossDomains) {
   Relation RA = U.empty({{A, P0}});
-  EXPECT_DEATH((void)RA.rename(A, C), "different domains");
+  expectUsageError([&] { (void)RA.rename(A, C); }, "different domains");
 }
 
-TEST_F(RuntimeChecksDeathTest, ProjectAbsentAttribute) {
+TEST_F(RuntimeChecksTest, ProjectAbsentAttribute) {
   Relation RA = U.empty({{A, P0}});
-  EXPECT_DEATH((void)RA.project({B}), "does not have");
+  expectUsageError([&] { (void)RA.project({B}); }, "does not have");
 }
 
-TEST_F(RuntimeChecksDeathTest, JoinOnAttributeOutsideOperand) {
+TEST_F(RuntimeChecksTest, JoinOnAttributeOutsideOperand) {
   Relation RA = U.empty({{A, P0}});
   Relation RB = U.empty({{B, P1}});
-  EXPECT_DEATH((void)RA.join(RB, {B}, {B}), "lacks compared attribute");
+  expectUsageError([&] { (void)RA.join(RB, {B}, {B}); },
+                   "lacks compared attribute");
 }
 
-TEST_F(RuntimeChecksDeathTest, DeclarationAfterFinalize) {
-  EXPECT_DEATH(U.addDomain("late", 4), "after finalize");
+TEST_F(RuntimeChecksTest, DeclarationAfterFinalize) {
+  expectUsageError([&] { U.addDomain("late", 4); }, "after finalize");
+}
+
+TEST_F(RuntimeChecksTest, FailedCheckLeavesRelationsUsable) {
+  // A caught UsageError is recoverable: the operands are untouched and
+  // further operations work.
+  Relation RA = U.full({{A, P0}});
+  Relation RB = U.empty({{B, P0}});
+  EXPECT_THROW((void)(RA | RB), UsageError);
+  EXPECT_DOUBLE_EQ(RA.size(), 8.0);
+  EXPECT_TRUE((RA & RA) == RA);
+}
+
+TEST_F(RuntimeChecksTest, UsageErrorCarriesCallSite) {
+  Relation RA = U.empty({{A, P0}});
+  Relation RB = U.empty({{B, P1}});
+  try {
+    (void)RA.join(RB, {B}, {B}, JEDD_SITE("flow-step"));
+    FAIL() << "expected jedd::UsageError";
+  } catch (const UsageError &E) {
+    EXPECT_EQ(E.SiteLabel, "flow-step");
+    EXPECT_NE(std::string(E.what()).find("flow-step"), std::string::npos);
+  }
+}
+
+using RuntimeChecksDeathTest = RuntimeChecksTest;
+
+TEST_F(RuntimeChecksDeathTest, ChecksFatalEnvRestoresAbort) {
+  // The JEDDPP_CHECKS=fatal escape hatch restores the historical
+  // report-and-abort behaviour (useful under debuggers).
+  ::setenv("JEDDPP_CHECKS", "fatal", 1);
+  EXPECT_DEATH(U.empty({{A, P0}, {A, P1}}), "duplicate attribute");
+  ::unsetenv("JEDDPP_CHECKS");
 }
 
 //===----------------------------------------------------------------------===//

@@ -15,10 +15,21 @@
 ///   jeddanalyze --generate NAME -o FILE   write a benchmark's facts
 ///   ... [--profile FILE.html] [--trace FILE.json] [--metrics FILE.json]
 ///   ... [--sequential] [--checkpoint-dir DIR]
+///   ... [--max-nodes N] [--max-mem BYTES] [--time-limit SECONDS]
 ///
 /// With --checkpoint-dir, each analysis stage's relations are saved to
 /// DIR as JDD1 checkpoints; a rerun over the same facts warm-starts from
 /// them instead of recomputing (docs/persistence.md).
+///
+/// --max-nodes/--max-mem/--time-limit install resource ceilings on the
+/// BDD manager (docs/robustness.md), and Ctrl-C requests cooperative
+/// cancellation. A run stopped by any of these exits with code 4 after
+/// printing the governor's peak usage; with --checkpoint-dir it is
+/// *resumable* — every completed stage is already checkpointed, so a
+/// rerun with a larger budget continues where this one stopped.
+///
+/// Exit codes: 0 success, 1 I/O failure, 2 usage, 3 malformed input or
+/// misuse, 4 resource limit or cancellation.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,9 +39,13 @@
 #include "profiler/Profiler.h"
 #include "soot/FactsIO.h"
 #include "soot/Generator.h"
+#include "util/Error.h"
 #include "util/File.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 
 using namespace jedd;
@@ -43,10 +58,18 @@ int usage(const char *Argv0) {
                "--generate NAME -o FILE)\n"
                "          [--profile FILE.html] [--trace FILE.json]\n"
                "          [--metrics FILE.json] [--sequential]\n"
-               "          [--checkpoint-dir DIR]\n",
+               "          [--checkpoint-dir DIR]\n"
+               "          [--max-nodes N] [--max-mem BYTES]\n"
+               "          [--time-limit SECONDS]\n",
                Argv0);
   return 2;
 }
+
+/// Set by the SIGINT handler; the BDD manager's governor polls it and
+/// aborts the operation in flight (docs/robustness.md).
+std::atomic<bool> CancelRequested{false};
+
+void onSigInt(int) { CancelRequested.store(true); }
 
 } // namespace
 
@@ -54,6 +77,8 @@ int main(int argc, char **argv) {
   std::string FactsPath, Benchmark, GenerateName, OutputPath, ProfilePath;
   std::string TracePath, MetricsPath, CheckpointDir;
   bdd::BitOrder Order = bdd::BitOrder::Interleaved;
+  uint64_t MaxNodes = 0, MaxBytes = 0;
+  double TimeLimitSec = 0.0;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -73,6 +98,12 @@ int main(int argc, char **argv) {
       MetricsPath = argv[++I];
     else if (Arg == "--checkpoint-dir" && I + 1 < argc)
       CheckpointDir = argv[++I];
+    else if (Arg == "--max-nodes" && I + 1 < argc)
+      MaxNodes = std::strtoull(argv[++I], nullptr, 10);
+    else if (Arg == "--max-mem" && I + 1 < argc)
+      MaxBytes = std::strtoull(argv[++I], nullptr, 10);
+    else if (Arg == "--time-limit" && I + 1 < argc)
+      TimeLimitSec = std::strtod(argv[++I], nullptr);
     else if (Arg == "--sequential")
       Order = bdd::BitOrder::Sequential;
     else
@@ -82,8 +113,13 @@ int main(int argc, char **argv) {
   if (!GenerateName.empty()) {
     if (OutputPath.empty())
       return usage(argv[0]);
-    soot::Program Prog =
-        soot::generateProgram(soot::benchmarkPreset(GenerateName));
+    soot::Program Prog;
+    try {
+      Prog = soot::generateProgram(soot::benchmarkPreset(GenerateName));
+    } catch (const UsageError &E) {
+      std::fprintf(stderr, "error: %s\n", E.what());
+      return 2;
+    }
     if (!writeStringToFile(OutputPath, soot::writeFacts(Prog))) {
       std::fprintf(stderr, "error: cannot write %s\n", OutputPath.c_str());
       return 1;
@@ -105,10 +141,15 @@ int main(int argc, char **argv) {
     if (!soot::parseFacts(Text, Prog, Error)) {
       std::fprintf(stderr, "%s: error: %s\n", FactsPath.c_str(),
                    Error.c_str());
-      return 1;
+      return 3;
     }
   } else if (!Benchmark.empty()) {
-    Prog = soot::generateProgram(soot::benchmarkPreset(Benchmark));
+    try {
+      Prog = soot::generateProgram(soot::benchmarkPreset(Benchmark));
+    } catch (const UsageError &E) {
+      std::fprintf(stderr, "error: %s\n", E.what());
+      return 2;
+    }
   } else {
     return usage(argv[0]);
   }
@@ -117,23 +158,57 @@ int main(int argc, char **argv) {
   if (!TracePath.empty() || !MetricsPath.empty())
     Tracer.setTracing(true);
 
-  analysis::AnalysisUniverse AU(Prog, Order);
+  bdd::ResourceLimits Limits;
+  Limits.MaxNodes = MaxNodes;
+  Limits.MaxBytes = MaxBytes;
+  Limits.TimeLimitMicros = static_cast<uint64_t>(TimeLimitSec * 1e6);
+  Limits.Cancel = &CancelRequested;
+  std::signal(SIGINT, onSigInt);
+
+  analysis::AnalysisUniverse AU(Prog, Order, {}, Limits);
   prof::Profiler Profiler;
   if (!ProfilePath.empty())
     Profiler.attach();
 
   analysis::CheckpointedAnalysis WPA(AU, CheckpointDir);
-  WPA.run();
 
-  if (!CheckpointDir.empty())
+  auto PrintStages = [&](std::FILE *Out) {
+    if (CheckpointDir.empty())
+      return;
     for (const analysis::CheckpointedAnalysis::StageStatus &St :
          WPA.stages())
-      std::printf("stage %-12s %s%s%s\n", St.Name.c_str(),
-                  St.WarmStarted ? "warm-started"
-                  : St.Saved     ? "computed, checkpointed"
-                                 : "computed",
-                  St.Note.empty() ? "" : " — ",
-                  St.Note.c_str());
+      std::fprintf(Out, "stage %-12s %s%s%s\n", St.Name.c_str(),
+                   St.Aborted       ? "interrupted"
+                   : St.WarmStarted ? "warm-started"
+                   : St.Saved       ? "computed, checkpointed"
+                                    : "computed",
+                   St.Note.empty() ? "" : " — ",
+                   St.Note.c_str());
+  };
+
+  try {
+    WPA.run();
+  } catch (const ResourceExhausted &E) {
+    const bdd::ManagerStats S = AU.U.manager().stats();
+    std::fprintf(stderr, "error: %s\n", E.what());
+    std::fprintf(stderr,
+                 "governor peaks: %zu nodes, %zu bytes "
+                 "(%zu aborts, %zu recoveries, %zu escalations)\n",
+                 S.NodesPeak, S.BytesPeak, S.ResourceAborts,
+                 S.ResourceRecoveries, S.ResourceEscalations);
+    PrintStages(stderr);
+    if (!CheckpointDir.empty())
+      std::fprintf(stderr,
+                   "run is resumable: completed stages are checkpointed "
+                   "in %s; rerun with a larger budget to continue\n",
+                   CheckpointDir.c_str());
+    return 4;
+  } catch (const UsageError &E) {
+    std::fprintf(stderr, "error: %s\n", E.what());
+    return 3;
+  }
+
+  PrintStages(stdout);
 
   std::printf("program:            %zu classes, %zu methods, %zu calls\n",
               Prog.Klasses.size(), Prog.Methods.size(), Prog.Calls.size());

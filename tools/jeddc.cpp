@@ -35,6 +35,7 @@
 #include "jedd/Interp.h"
 #include "obs/Obs.h"
 #include "sat/Cnf.h"
+#include "util/Error.h"
 #include "util/File.h"
 
 #include <cstdio>
@@ -64,9 +65,7 @@ int usage(const char *Argv0) {
   return 2;
 }
 
-} // namespace
-
-int main(int argc, char **argv) {
+int jeddcMain(int argc, char **argv) {
   std::vector<std::string> Inputs;
   std::string OutputPath, DimacsPath, Namespace = "jedd_generated";
   std::string TracePath, MetricsPath, EmitRelationsPath;
@@ -196,4 +195,20 @@ int main(int argc, char **argv) {
     return 1;
   }
   return 0;
+}
+
+} // namespace
+
+// Exit codes: 0 success, 1 I/O or compile failure, 2 usage, 3 misuse of
+// the relational runtime by the interpreted program, 4 resource limits.
+int main(int argc, char **argv) {
+  try {
+    return jeddcMain(argc, argv);
+  } catch (const ResourceExhausted &E) {
+    std::fprintf(stderr, "%s: error: %s\n", argv[0], E.what());
+    return 4;
+  } catch (const UsageError &E) {
+    std::fprintf(stderr, "%s: error: %s\n", argv[0], E.what());
+    return 3;
+  }
 }

@@ -13,11 +13,15 @@
 ///
 ///   jeddinspect file.jdd [more.jdd ...]
 ///
+/// Exit codes: 0 success, 1 I/O failure, 2 usage, 3 corrupt or
+/// malformed image.
+///
 //===----------------------------------------------------------------------===//
 
 #include "io/Io.h"
 #include "util/File.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -37,7 +41,7 @@ int inspectOne(const char *Argv0, const std::string &Path, bool Banner) {
   if (!E.ok()) {
     std::fprintf(stderr, "%s: error: %s: %s\n", Argv0, Path.c_str(),
                  E.toString().c_str());
-    return 1;
+    return 3;
   }
 
   if (Banner)
@@ -88,8 +92,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     if (I > 1)
       std::printf("\n");
-    if (inspectOne(argv[0], argv[I], argc > 2) != 0)
-      Status = 1;
+    // A corrupt image (3) outranks a plain read failure (1).
+    Status = std::max(Status, inspectOne(argv[0], argv[I], argc > 2));
   }
   return Status;
 }

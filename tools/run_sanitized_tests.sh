@@ -13,6 +13,11 @@
 # (tests/io_fuzz_test.cpp): hostile-image loads must fail as typed
 # errors without ever reading out of bounds or racing the manager.
 #
+# Both also run the resource-governance suite (label "robustness") and
+# loop its fault-injection differential (tests/resource_test.cpp) for
+# 200+ injected-abort iterations: every abort/recovery cycle must be
+# clean under ASan and race-free under TSan (docs/robustness.md).
+#
 # Usage: tools/run_sanitized_tests.sh [thread|address|all]   (default: all)
 #
 # Build trees go to build-tsan/ and build-asan/ next to build/ so they
@@ -33,7 +38,7 @@ run_thread() {
   cmake --build "$ROOT/build-tsan" -j "$JOBS" \
         --target bdd_parallel_test bdd_reorder_stress_test \
                  obs_stress_test bdd_differential_test io_fuzz_test \
-                 io_test
+                 io_test resource_test robustness_test
   (cd "$ROOT/build-tsan" && ctest --output-on-failure -L stress)
   TSAN_OPTIONS="halt_on_error=1" \
       "$ROOT/build-tsan/tests/bdd_differential_test"
@@ -42,6 +47,11 @@ run_thread() {
       "$ROOT/build-tsan/tests/io_fuzz_test" --gtest_repeat=3
   TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/io_test" \
       --gtest_filter='*Parallel*'
+  echo "=== ThreadSanitizer: resource governance + fault injection ==="
+  (cd "$ROOT/build-tsan" && ctest --output-on-failure -L robustness)
+  # 3 repeats x 80 mirrored operations = 240 injected-abort iterations.
+  TSAN_OPTIONS="halt_on_error=1" "$ROOT/build-tsan/tests/resource_test" \
+      --gtest_filter='*FaultInjection*:*SerialParallel*' --gtest_repeat=3
 }
 
 run_address() {
@@ -54,6 +64,13 @@ run_address() {
   echo "=== AddressSanitizer: persistence fuzz loop ==="
   ASAN_OPTIONS="detect_leaks=0" \
       "$ROOT/build-asan/tests/io_fuzz_test" --gtest_repeat=5
+  echo "=== AddressSanitizer: resource governance + fault injection ==="
+  (cd "$ROOT/build-asan" &&
+       ASAN_OPTIONS="detect_leaks=0" ctest --output-on-failure -L robustness)
+  # 3 repeats x 80 mirrored operations = 240 injected-abort iterations;
+  # every unwound allocation path must be leak- and corruption-free.
+  ASAN_OPTIONS="detect_leaks=0" "$ROOT/build-asan/tests/resource_test" \
+      --gtest_filter='*FaultInjection*' --gtest_repeat=3
 }
 
 case "$MODE" in
